@@ -1,0 +1,88 @@
+// Command ginflow-bench regenerates the tables and figures of the
+// paper's evaluation (§V):
+//
+//	ginflow-bench -fig 12a    coordination timespan, simple diamond (Fig. 12a)
+//	ginflow-bench -fig 12b    coordination timespan, fully-connected (Fig. 12b)
+//	ginflow-bench -fig 13     adaptiveness ratios (Fig. 13)
+//	ginflow-bench -fig 14     executor × middleware comparison (Fig. 14)
+//	ginflow-bench -fig 15     Montage shape and duration CDF (Fig. 15)
+//	ginflow-bench -fig 16     resilience under failure injection (Fig. 16)
+//	ginflow-bench -fig all    everything, in order
+//
+// Times are model seconds (1 model second costs -scale of real time;
+// see DESIGN.md §1 for the substitution rationale). -quick shrinks the
+// sweeps for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ginflow/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ginflow-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | all")
+		quick   = flag.Bool("quick", false, "reduced sweeps")
+		runs    = flag.Int("runs", 3, "repetitions for averaged experiments (paper: up to 10)")
+		scale   = flag.Duration("scale", time.Millisecond, "real time per model second")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-run timeout (real time)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Out:     os.Stdout,
+		Quick:   *quick,
+		Runs:    *runs,
+		Scale:   *scale,
+		Seed:    *seed,
+		Timeout: *timeout,
+	}
+
+	runFig := func(name string) error {
+		started := time.Now()
+		var err error
+		switch name {
+		case "12a":
+			_, err = bench.Fig12(opts, false)
+		case "12b":
+			_, err = bench.Fig12(opts, true)
+		case "13":
+			_, err = bench.Fig13(opts)
+		case "14":
+			_, err = bench.Fig14(opts)
+		case "15":
+			err = bench.Fig15(opts)
+		case "16":
+			_, _, err = bench.Fig16(opts)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", name, err)
+		}
+		fmt.Printf("(fig %s done in %.1fs real time)\n\n", name, time.Since(started).Seconds())
+		return nil
+	}
+
+	if *fig != "all" {
+		return runFig(*fig)
+	}
+	for _, name := range []string{"12a", "12b", "13", "14", "15", "16"} {
+		if err := runFig(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Command ginflow runs a workflow on the GinFlow engine — the
+// counterpart of the paper's command line interface (§IV-D), "which
+// gives control over various execution options (executor, messaging
+// framework, ...)".
+//
+// Workflows come from a JSON file (-file), from the built-in diamond
+// generator (-diamond HxV) or from the built-in Montage workload
+// (-montage). Services are simulated: JSON/diamond tasks run a no-op
+// service of -task-duration model seconds; services listed in -fail
+// raise an execution exception (driving any declared adaptation).
+//
+// Examples:
+//
+//	ginflow -diamond 10x10 -executor mesos -broker kafka -nodes 15
+//	ginflow -file workflow.json -fail s2
+//	ginflow -montage -p 0.5 -T 15
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ginflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ginflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file     = flag.String("file", "", "workflow JSON file (paper §IV-D format)")
+		diamond  = flag.String("diamond", "", "built-in diamond workload, e.g. 10x10")
+		fully    = flag.Bool("fully", false, "fully-connect the diamond mesh")
+		montageW = flag.Bool("montage", false, "built-in 118-task Montage workload (§V-D)")
+
+		executorKind = flag.String("executor", "ssh", "executor: ssh | mesos | ec2 | centralized")
+		brokerKind   = flag.String("broker", "activemq", "broker: activemq | kafka")
+		nodes        = flag.Int("nodes", 25, "simulated cluster nodes")
+		clusterFile  = flag.String("cluster-file", "", "platform description file (overrides -nodes)")
+		scale        = flag.Duration("scale", time.Millisecond, "real time per model second")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "run timeout (real time)")
+
+		taskDuration = flag.String("task-duration", "1.0", "noop service duration (model seconds)")
+		fail         = flag.String("fail", "", "comma-separated services that raise execution exceptions")
+
+		failureP = flag.Float64("p", 0, "agent crash probability per invocation (§V-D)")
+		failureT = flag.Float64("T", 0, "agent crash delay, model seconds after service start")
+
+		verbose   = flag.Bool("v", false, "print per-task statuses")
+		showTrace = flag.Bool("trace", false, "print the enactment timeline")
+		dumpDOT   = flag.Bool("dot", false, "print the workflow as Graphviz DOT and exit")
+		dumpHOCL  = flag.Bool("dump-hocl", false, "print the workflow's HOCL translation and exit")
+	)
+	flag.Parse()
+
+	def, services, err := buildWorkload(*file, *diamond, *fully, *montageW, *taskDuration, *fail)
+	if err != nil {
+		return err
+	}
+	if *dumpDOT {
+		fmt.Print(def.DOT())
+		return nil
+	}
+	if *dumpHOCL {
+		src, err := def.HOCLSource()
+		if err != nil {
+			return err
+		}
+		fmt.Println(src)
+		return nil
+	}
+
+	clusterCfg := ginflow.ClusterConfig{Nodes: *nodes, Scale: *scale}
+	if *clusterFile != "" {
+		data, err := os.ReadFile(*clusterFile)
+		if err != nil {
+			return err
+		}
+		clusterCfg, err = ginflow.ParseClusterFile(data)
+		if err != nil {
+			return err
+		}
+		if clusterCfg.Scale == 0 {
+			clusterCfg.Scale = *scale
+		}
+	}
+
+	cfg := ginflow.Config{
+		Executor:     ginflow.ExecutorKind(*executorKind),
+		Broker:       ginflow.BrokerKind(*brokerKind),
+		Cluster:      clusterCfg,
+		FailureP:     *failureP,
+		FailureT:     *failureT,
+		Timeout:      *timeout,
+		CollectTrace: *showTrace,
+	}
+
+	report, err := ginflow.Run(context.Background(), def, services, cfg)
+	if report != nil {
+		printReport(os.Stdout, report, *verbose)
+		if *showTrace {
+			fmt.Println("timeline:")
+			for _, e := range report.Events {
+				fmt.Println(" ", e)
+			}
+		}
+	}
+	return err
+}
+
+func buildWorkload(file, diamond string, fully, montageW bool, taskDuration, fail string) (*ginflow.Workflow, *ginflow.ServiceRegistry, error) {
+	services := ginflow.NewServiceRegistry()
+	var def *ginflow.Workflow
+
+	switch {
+	case montageW:
+		def = ginflow.Montage()
+		ginflow.RegisterMontageServices(services)
+	case diamond != "":
+		var h, v int
+		if _, err := fmt.Sscanf(diamond, "%dx%d", &h, &v); err != nil || h < 1 || v < 1 {
+			return nil, nil, fmt.Errorf("bad -diamond %q (want HxV, e.g. 10x10)", diamond)
+		}
+		def = ginflow.Diamond(ginflow.DefaultDiamondSpec(h, v, fully))
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		def, err = ginflow.FromJSON(data)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("one of -file, -diamond or -montage is required")
+	}
+
+	if !montageW {
+		var dur float64
+		if _, err := fmt.Sscanf(taskDuration, "%f", &dur); err != nil {
+			return nil, nil, fmt.Errorf("bad -task-duration %q", taskDuration)
+		}
+		failing := map[string]bool{}
+		for _, s := range strings.Split(fail, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				failing[s] = true
+			}
+		}
+		seen := map[string]bool{}
+		register := func(name string) {
+			if name == "" || seen[name] {
+				return
+			}
+			seen[name] = true
+			if failing[name] {
+				services.RegisterFailing(name, dur)
+			} else {
+				services.RegisterNoop(dur, name)
+			}
+		}
+		for _, t := range def.Tasks {
+			register(t.Service)
+		}
+		for _, a := range def.Adaptations {
+			for _, r := range a.Replacement {
+				register(r.Service)
+			}
+		}
+	}
+	return def, services, nil
+}
+
+func printReport(w io.Writer, r *ginflow.Report, verbose bool) {
+	fmt.Fprintf(w, "workflow:     %s\n", r.Workflow)
+	fmt.Fprintf(w, "executor:     %s   broker: %s   nodes: %d\n", r.Executor, r.Broker, r.Nodes)
+	fmt.Fprintf(w, "tasks:        %d   agents: %d\n", r.Tasks, r.Agents)
+	fmt.Fprintf(w, "deploy time:  %.1f model seconds\n", r.DeployTime)
+	fmt.Fprintf(w, "exec time:    %.1f model seconds\n", r.ExecTime)
+	fmt.Fprintf(w, "messages:     %d\n", r.Messages)
+	if r.Failures > 0 || r.Recoveries > 0 {
+		fmt.Fprintf(w, "failures:     %d   recoveries: %d\n", r.Failures, r.Recoveries)
+	}
+	if len(r.Adaptations) > 0 {
+		fmt.Fprintf(w, "adaptations:  %s\n", strings.Join(r.Adaptations, ", "))
+	}
+	exits := make([]string, 0, len(r.Results))
+	for task := range r.Results {
+		exits = append(exits, task)
+	}
+	sort.Strings(exits)
+	for _, task := range exits {
+		fmt.Fprintf(w, "result[%s]: %s\n", task, strings.Join(r.Results[task], ", "))
+	}
+	if verbose {
+		tasks := make([]string, 0, len(r.Statuses))
+		for t := range r.Statuses {
+			tasks = append(tasks, t)
+		}
+		sort.Strings(tasks)
+		fmt.Fprintln(w, "statuses:")
+		for _, t := range tasks {
+			fmt.Fprintf(w, "  %-16s %s\n", t, r.Statuses[t])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command hocl runs standalone HOCL programs on the chemical engine
+// GinFlow is built on (paper §III-A). Programs are read from a file
+// argument, from -e, from stdin, or line by line in the -i REPL:
+//
+//	hocl getmax.hocl
+//	hocl -e 'let max = replace x, y by x if x >= y in <2, 3, 5, 8, 9, max>'
+//	echo '<1, 2>' | hocl
+//	hocl -i
+//
+// The final, inert solution is printed in (parseable) HOCL syntax.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ginflow/internal/hocl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hocl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expr  = flag.String("e", "", "program text (instead of a file)")
+		repl  = flag.Bool("i", false, "interactive mode: one program per line")
+		seed  = flag.Int64("seed", 0, "randomise reaction order with this seed (0: deterministic)")
+		steps = flag.Int("max-steps", 0, "abort after this many rule firings (0: default bound)")
+		trace = flag.Bool("trace", false, "log every rule firing to stderr")
+	)
+	flag.Parse()
+
+	if *repl {
+		return runREPL(*seed, *steps)
+	}
+
+	src, err := readProgram(*expr, flag.Args())
+	if err != nil {
+		return err
+	}
+
+	engine := hocl.NewEngine()
+	engine.MaxSteps = *steps
+	if *seed != 0 {
+		engine.Rand = rand.New(rand.NewSource(*seed))
+	}
+	if *trace {
+		engine.Trace = func(ev hocl.TraceEvent) {
+			fmt.Fprintf(os.Stderr, "fire %s (depth %d)\n", ev.Rule.Name, ev.Depth)
+		}
+	}
+
+	sol, err := engine.Run(src)
+	if err != nil {
+		return err
+	}
+	fmt.Println(hocl.Pretty(sol))
+	fmt.Fprintf(os.Stderr, "(%d reactions)\n", engine.Steps())
+	return nil
+}
+
+// runREPL evaluates one program per input line, keeping each evaluation
+// independent (HOCL programs are self-contained multisets).
+func runREPL(seed int64, steps int) error {
+	fmt.Println("hocl interactive — one program per line, empty line or ctrl-d to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for {
+		fmt.Print("hocl> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			return nil
+		}
+		engine := hocl.NewEngine()
+		engine.MaxSteps = steps
+		if seed != 0 {
+			engine.Rand = rand.New(rand.NewSource(seed))
+		}
+		sol, err := engine.Run(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(hocl.Pretty(sol))
+	}
+}
+
+func readProgram(expr string, args []string) (string, error) {
+	switch {
+	case expr != "":
+		return expr, nil
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	case len(args) == 0:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	default:
+		return "", fmt.Errorf("want at most one program file, got %d arguments", len(args))
+	}
+}

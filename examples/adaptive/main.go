@@ -1,0 +1,66 @@
+// adaptive: the paper's running example of on-the-fly workflow
+// adaptation (Figs. 5-8). Task T2 is potentially faulty; the workflow
+// declares an alternative task T2' to be wired in should T2's service
+// raise an execution exception. At run time:
+//
+//  1. s2 fails, so ERROR appears in T2's local solution;
+//  2. T2's trigger_adapt rule fires: ADAPT markers are messaged to T1
+//     (source) and T4 (destination), TRIGGER to the shared space;
+//  3. T1's add_dst rule appends T2' to its destinations — the retained
+//     result is re-sent; T4's mv_src rule swaps T2 for T2' in its
+//     expected sources and empties stale inputs;
+//  4. T2' runs and T4 completes — no restart, no human intervention.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ginflow"
+)
+
+func main() {
+	def := &ginflow.Workflow{
+		Name: "paper-fig5",
+		Tasks: []ginflow.Task{
+			{ID: "T1", Service: "s1", In: []string{"input"}, Dst: []string{"T2", "T3"}},
+			{ID: "T2", Service: "s2", Dst: []string{"T4"}},
+			{ID: "T3", Service: "s3", Dst: []string{"T4"}},
+			{ID: "T4", Service: "s4"},
+		},
+		Adaptations: []ginflow.Adaptation{{
+			ID:     "a1",
+			Faulty: []string{"T2"},
+			Replacement: []ginflow.ReplacementTask{
+				// T2' takes T1's (re-sent) output and feeds T4, exactly
+				// like the task it replaces (paper Fig. 6, line 6.06).
+				{ID: "T2'", Service: "s2-prime", Src: []string{"T1"}, Dst: []string{"T4"}},
+			},
+		}},
+	}
+
+	services := ginflow.NewServiceRegistry()
+	services.RegisterNoop(1.0, "s1", "s3", "s4", "s2-prime")
+	// s2 raises an execution exception every time — the ERROR molecule
+	// that enables the adaptation rules.
+	services.RegisterFailing("s2", 1.0)
+
+	report, err := ginflow.Run(context.Background(), def, services, ginflow.Config{
+		Executor: ginflow.ExecutorSSH,
+		Broker:   ginflow.BrokerActiveMQ,
+		Cluster:  ginflow.ClusterConfig{Nodes: 4},
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report)
+	fmt.Printf("adaptations triggered: %v\n", report.Adaptations)
+	fmt.Printf("T2  (faulty):      %s\n", report.Statuses["T2"])
+	fmt.Printf("T2' (replacement): %s\n", report.Statuses["T2'"])
+	fmt.Printf("T4  (destination): %s, result %v\n",
+		report.Statuses["T4"], report.Results["T4"])
+}

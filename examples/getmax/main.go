@@ -1,0 +1,54 @@
+// getmax: the paper's §III-A introduction to HOCL, the chemical language
+// GinFlow is programmed in. The max rule consumes two values x, y with
+// x >= y and produces x; applied until inert, the multiset reduces to its
+// maximum. The higher-order variant wraps the program in an outer
+// solution with a one-shot clean rule that extracts the result and
+// removes the catalyst — a rule consuming another rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ginflow"
+)
+
+func main() {
+	// The plain getMax program (paper §III-A, first listing). The ASCII
+	// dialect writes ⟨⟩ as <> and ω as *name.
+	out, err := ginflow.EvalHOCL(`
+		let max = replace x, y by x if x >= y in
+		<2, 3, 5, 8, 9, max>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("getMax:")
+	fmt.Println(out) // <9, max>: the catalyst rule remains
+
+	// The higher-order variant (second listing): clean fires only once
+	// the inner solution is inert, extracts the result and consumes max.
+	out, err = ginflow.EvalHOCL(`
+		let max = replace x, y by x if x >= y in
+		let clean = replace-one <max, *w> by *w in
+		<<2, 3, 5, 8, 9, max>, clean>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("getMax with clean:")
+	fmt.Println(out) // <9>
+
+	// Rules producing rules — the mechanism behind on-the-fly workflow
+	// adaptation (§III-C): boot consumes the GO marker and injects the
+	// sum rule, which then folds the integers. The guard keeps sum away
+	// from non-numeric molecules (a failing comparison means "these
+	// atoms do not react").
+	out, err = ginflow.EvalHOCL(`
+		let sum = replace x, y by x + y if x <= y in
+		let boot = replace-one GO by sum in
+		<GO, 1, 2, 3, 4, boot>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rule injection:")
+	fmt.Println(out) // <10, sum>
+}

@@ -1,0 +1,182 @@
+// Package ginflow is a decentralised, adaptive workflow execution
+// manager: a Go reproduction of "GinFlow: A Decentralised Adaptive
+// Workflow Execution Manager" (Rojas Balderrama, Simonin, Tedeschi,
+// IEEE IPDPS 2016).
+//
+// A workflow is a DAG of tasks bound to services. GinFlow translates it
+// into an HOCL (Higher-Order Chemical Language) program — a multiset of
+// molecules rewritten by reaction rules — and executes it either on a
+// single interpreter (centralized) or, its reason for existing, on a set
+// of cooperating service agents, each holding a local copy of its task's
+// sub-solution and reacting to molecules received from its peers over a
+// message broker. Workflows can carry adaptation specifications:
+// alternative sub-workflows wired in on-the-fly when a service fails,
+// without stopping and restarting the execution (§III of the paper).
+// Agents themselves are recoverable: with the log-backed broker, a
+// crashed agent's replacement rebuilds its state by replaying its inbox
+// (§IV-B).
+//
+// # Quick start
+//
+//	def := ginflow.Diamond(ginflow.DefaultDiamondSpec(3, 3, false))
+//	services := ginflow.NewServiceRegistry()
+//	services.RegisterNoop(1.0, "split", "work", "merge")
+//	report, err := ginflow.Run(context.Background(), def, services, ginflow.Config{
+//		Executor: ginflow.ExecutorSSH,
+//		Broker:   ginflow.BrokerActiveMQ,
+//	})
+//
+// The package is a façade over the implementation packages under
+// internal/; every type needed by a client is re-exported here.
+package ginflow
+
+import (
+	"context"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/core"
+	"ginflow/internal/executor"
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/montage"
+	"ginflow/internal/mq"
+	"ginflow/internal/templates"
+	"ginflow/internal/workflow"
+)
+
+// Workflow modelling.
+type (
+	// Workflow is a DAG of tasks plus optional adaptations (§III-B/C).
+	Workflow = workflow.Definition
+	// Task is one node of the DAG.
+	Task = workflow.Task
+	// ReplacementTask is a node of an adaptation's alternative
+	// sub-workflow.
+	ReplacementTask = workflow.ReplacementTask
+	// Adaptation declares that a faulty sub-workflow is replaced
+	// on-the-fly by an alternative one.
+	Adaptation = workflow.Adaptation
+	// DiamondSpec parameterises the paper's diamond benchmark workload.
+	DiamondSpec = workflow.DiamondSpec
+)
+
+// Execution.
+type (
+	// Config selects executor, broker, platform size and fault injection.
+	Config = core.Config
+	// Report summarises a run: times (model seconds), failures,
+	// recoveries, adaptations, results.
+	Report = core.Report
+	// ClusterConfig sizes the simulated platform.
+	ClusterConfig = cluster.Config
+	// ServiceRegistry maps service names to implementations.
+	ServiceRegistry = agent.Registry
+	// Service is one invocable service: modelled duration + computation.
+	Service = agent.Service
+	// TaskStatus is the observable state of a task (idle, ready,
+	// completed, failed).
+	TaskStatus = hoclflow.Status
+	// ExecutorKind selects an executor (§IV-C).
+	ExecutorKind = executor.Kind
+	// BrokerKind selects a messaging middleware (§IV-A).
+	BrokerKind = mq.Kind
+)
+
+// Executor kinds (§IV-C; EC2 is the cloud executor the paper sketches
+// as an extension).
+const (
+	ExecutorSSH         = executor.KindSSH
+	ExecutorMesos       = executor.KindMesos
+	ExecutorEC2         = executor.KindEC2
+	ExecutorCentralized = executor.KindCentralized
+)
+
+// Broker kinds (§IV-A).
+const (
+	BrokerActiveMQ = mq.KindQueue
+	BrokerKafka    = mq.KindLog
+)
+
+// Task status values.
+const (
+	StatusIdle      = hoclflow.StatusIdle
+	StatusReady     = hoclflow.StatusReady
+	StatusCompleted = hoclflow.StatusCompleted
+	StatusFailed    = hoclflow.StatusFailed
+)
+
+// Run executes a workflow with the given services under the given
+// configuration and returns the run report.
+func Run(ctx context.Context, def *Workflow, services *ServiceRegistry, cfg Config) (*Report, error) {
+	return core.Run(ctx, def, services, cfg)
+}
+
+// NewServiceRegistry returns an empty service registry.
+func NewServiceRegistry() *ServiceRegistry { return agent.NewRegistry() }
+
+// FromJSON decodes and validates a workflow from its JSON form (§IV-D).
+func FromJSON(data []byte) (*Workflow, error) { return workflow.FromJSON(data) }
+
+// ParseClusterFile decodes a platform description — the machine list the
+// SSH executor deploys onto (§IV-C).
+func ParseClusterFile(data []byte) (ClusterConfig, error) {
+	return cluster.ParseConfigFile(data)
+}
+
+// Diamond builds the paper's Fig. 11 benchmark workload: SPLIT -> h×v
+// mesh -> MERGE, simple- or fully-connected.
+func Diamond(spec DiamondSpec) *Workflow { return workflow.Diamond(spec) }
+
+// DefaultDiamondSpec returns the benchmark diamond spec.
+func DefaultDiamondSpec(h, v int, fully bool) DiamondSpec {
+	return workflow.DefaultDiamondSpec(h, v, fully)
+}
+
+// WithBodyReplacement extends a diamond with the §V-B adaptation: the
+// whole mesh body is replaced on failure by a fresh mesh.
+func WithBodyReplacement(d *Workflow, spec DiamondSpec, replacementFully bool, replacementService string) *Workflow {
+	return workflow.WithBodyReplacement(d, spec, replacementFully, replacementService)
+}
+
+// Sequence builds a linear workflow of n tasks.
+func Sequence(n int, service, input string) *Workflow {
+	return workflow.Sequence(n, service, input)
+}
+
+// Montage builds the 118-task Montage-like workflow of the paper's
+// resilience evaluation (§V-D), and RegisterMontageServices registers
+// its simulated kernels.
+func Montage() *Workflow { return montage.Workflow() }
+
+// RegisterMontageServices registers the Montage kernels on a registry.
+func RegisterMontageServices(reg *ServiceRegistry) { montage.RegisterServices(reg) }
+
+// Template building (Tigres-style combinators; the paper's §VII notes
+// GinFlow's integration into the Tigres workflow environment).
+type (
+	// TemplateBuilder composes workflows from sequence / split /
+	// parallel / merge templates.
+	TemplateBuilder = templates.Builder
+	// Stage is the set of open task IDs a template connects from.
+	Stage = templates.Stage
+)
+
+// NewTemplate starts a template-based workflow builder.
+func NewTemplate(name string) *TemplateBuilder { return templates.New(name) }
+
+// JoinStages merges stages so the next template connects from all of
+// them.
+func JoinStages(stages ...Stage) Stage { return templates.Join(stages...) }
+
+// EvalHOCL parses and reduces a standalone HOCL program, returning the
+// final (inert) solution rendered in HOCL syntax. It gives CLI users and
+// examples direct access to the chemical engine underneath GinFlow.
+func EvalHOCL(src string) (string, error) {
+	e := hocl.NewEngine()
+	sol, err := e.Run(src)
+	if err != nil {
+		return "", err
+	}
+	return hocl.Pretty(sol), nil
+}

@@ -1,0 +1,118 @@
+package ginflow
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig(executor ExecutorKind, broker BrokerKind) Config {
+	return Config{
+		Executor: executor,
+		Broker:   broker,
+		Cluster:  ClusterConfig{Nodes: 4, Scale: 50 * time.Microsecond},
+		Timeout:  30 * time.Second,
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	def := Diamond(DefaultDiamondSpec(2, 2, false))
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "split", "work", "merge")
+	rep, err := Run(context.Background(), def, services, testConfig(ExecutorSSH, BrokerActiveMQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Statuses["MERGE"] != StatusCompleted {
+		t.Errorf("merge = %v", rep.Statuses["MERGE"])
+	}
+	if len(rep.Results["MERGE"]) != 1 {
+		t.Errorf("results = %v", rep.Results)
+	}
+}
+
+func TestPublicAPICentralized(t *testing.T) {
+	def := Sequence(3, "s", "in")
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "s")
+	rep, err := Run(context.Background(), def, services, testConfig(ExecutorCentralized, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Statuses["S3"] != StatusCompleted {
+		t.Errorf("S3 = %v", rep.Statuses["S3"])
+	}
+}
+
+func TestPublicAPIFromJSON(t *testing.T) {
+	src := `{
+	  "name": "json-diamond",
+	  "tasks": [
+	    {"id": "T1", "service": "s1", "in": ["input"], "dst": ["T2", "T3"]},
+	    {"id": "T2", "service": "s2", "dst": ["T4"]},
+	    {"id": "T3", "service": "s3", "dst": ["T4"]},
+	    {"id": "T4", "service": "s4"}
+	  ],
+	  "adaptations": [
+	    {"id": "a1", "faulty": ["T2"], "replacement": [
+	      {"id": "T2bis", "service": "s2alt", "src": ["T1"], "dst": ["T4"]}
+	    ]}
+	  ]
+	}`
+	def, err := FromJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "s1", "s3", "s4", "s2alt")
+	services.RegisterFailing("s2", 0.1)
+	rep, err := Run(context.Background(), def, services, testConfig(ExecutorSSH, BrokerActiveMQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) != 1 || rep.Adaptations[0] != "a1" {
+		t.Errorf("adaptations = %v", rep.Adaptations)
+	}
+	if rep.Statuses["T4"] != StatusCompleted || rep.Statuses["T2bis"] != StatusCompleted {
+		t.Errorf("statuses: T4=%v T2bis=%v", rep.Statuses["T4"], rep.Statuses["T2bis"])
+	}
+}
+
+func TestPublicAPIMontage(t *testing.T) {
+	def := Montage()
+	if def.TaskCount() != 118 {
+		t.Errorf("montage tasks = %d", def.TaskCount())
+	}
+	services := NewServiceRegistry()
+	RegisterMontageServices(services)
+	// Just validate + translate here; the full run is covered in
+	// internal/montage.
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIEvalHOCL(t *testing.T) {
+	out, err := EvalHOCL(`let max = replace x, y by x if x >= y in <2, 9, 4, max>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "9") {
+		t.Errorf("output %q must contain the maximum", out)
+	}
+	if _, err := EvalHOCL("<<<"); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestPublicAPIBodyReplacement(t *testing.T) {
+	spec := DefaultDiamondSpec(2, 2, false)
+	def := WithBodyReplacement(Diamond(spec), spec, true, "workalt")
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Adaptations) != 1 {
+		t.Errorf("adaptations = %d", len(def.Adaptations))
+	}
+}

@@ -1,0 +1,379 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"ginflow/internal/cluster"
+	"ginflow/internal/failure"
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+	"ginflow/internal/space"
+	"ginflow/internal/trace"
+	"ginflow/internal/workflow"
+)
+
+// DefaultTopicPrefix prefixes each agent's inbox topic: the inbox of task
+// T1 is "sa.T1".
+const DefaultTopicPrefix = "sa."
+
+// Topic returns the inbox topic of a task's agent.
+func Topic(prefix, task string) string {
+	if prefix == "" {
+		prefix = DefaultTopicPrefix
+	}
+	return prefix + task
+}
+
+// CrashError reports a fault-injected agent crash (§V-D). The supervisor
+// reacts by starting a replacement incarnation.
+type CrashError struct {
+	Task        string
+	Incarnation int
+	At          float64 // model time of the crash
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("agent %s (incarnation %d) crashed at t=%.2f", e.Task, e.Incarnation, e.At)
+}
+
+// IsCrash reports whether err is (or wraps) an injected crash.
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// Config wires one agent incarnation.
+type Config struct {
+	Spec workflow.AgentSpec
+	// Broker carries inter-agent messages and space updates.
+	Broker mq.Broker
+	// Cluster provides the clock and the link-latency model; Node is the
+	// machine hosting this agent.
+	Cluster *cluster.Cluster
+	Node    *cluster.Node
+	// Placements locates peer agents' nodes for link-latency modelling
+	// (nil disables link latency).
+	Placements map[string]*cluster.Node
+	// Services resolves SRV names.
+	Services *Registry
+	// Injector draws crash plans (nil or zero: no failures).
+	Injector *failure.Injector
+	// SpaceTopic receives status pushes (default space.DefaultTopic).
+	SpaceTopic string
+	// TopicPrefix prefixes inbox topics (default DefaultTopicPrefix).
+	TopicPrefix string
+	// Incarnation is 0 for the first launch and increments per recovery.
+	Incarnation int
+	// Rand drives duration draws; nil derives one from Cluster.
+	Rand *rand.Rand
+	// Trace, when non-nil, records the agent's lifecycle events.
+	Trace *trace.Recorder
+}
+
+// Agent is one service agent incarnation. Create with New, Subscribe
+// before any peer may address it (the engine subscribes every agent
+// before starting any of them, so no message is published into the
+// void), then drive with Run; a crashed agent is dead — recovery creates
+// a new incarnation.
+type Agent struct {
+	cfg    Config
+	name   string
+	local  *hocl.Solution
+	engine *hocl.Engine
+	rng    *rand.Rand
+	sub    *mq.Subscription
+
+	lastPush      string
+	completedSeen bool
+	sends         atomic.Int64
+	reductions    atomic.Int64
+}
+
+// New builds an agent incarnation from its spec. The spec's template
+// solution is deep-cloned: every incarnation starts from the pristine
+// task state and rebuilds through replay, per §IV-B's soft-state design.
+func New(cfg Config) *Agent {
+	a := &Agent{
+		cfg:  cfg,
+		name: cfg.Spec.Task.Name,
+	}
+	a.local = cfg.Spec.Local.CloneSolution()
+	a.rng = cfg.Rand
+	if a.rng == nil && cfg.Cluster != nil {
+		a.rng = cfg.Cluster.Rand()
+	}
+	a.engine = hocl.NewEngine()
+	a.bindFunctions()
+	return a
+}
+
+// Name returns the task this agent executes.
+func (a *Agent) Name() string { return a.name }
+
+// Incarnation returns the agent's incarnation number.
+func (a *Agent) Incarnation() int { return a.cfg.Incarnation }
+
+// Sends returns the number of direct messages this incarnation sent.
+func (a *Agent) Sends() int64 { return a.sends.Load() }
+
+// Reductions returns the number of reduction passes performed.
+func (a *Agent) Reductions() int64 { return a.reductions.Load() }
+
+// Local exposes the agent's local solution for inspection in tests and
+// reports. The caller must not mutate it while Run is active.
+func (a *Agent) Local() *hocl.Solution { return a.local }
+
+func (a *Agent) clock() *cluster.Clock { return a.cfg.Cluster.Clock() }
+
+func (a *Agent) inboxTopic() string { return Topic(a.cfg.TopicPrefix, a.name) }
+
+func (a *Agent) spaceTopic() string {
+	if a.cfg.SpaceTopic != "" {
+		return a.cfg.SpaceTopic
+	}
+	return space.DefaultTopic
+}
+
+// bindFunctions registers the agent-bound external functions on the
+// embedded interpreter: invoke, send, the adaptation triggers this task
+// owns and the generated mv_src rewrites.
+func (a *Agent) bindFunctions() {
+	a.engine.Funcs.Register(hoclflow.FnInvoke, a.invoke)
+	a.engine.Funcs.Register(hoclflow.FnSend, a.send)
+	for name, fn := range a.cfg.Spec.Funcs {
+		a.engine.Funcs.Register(name, fn)
+	}
+	for _, trig := range a.cfg.Spec.Triggers {
+		trig := trig
+		a.engine.Funcs.Register(trig.FuncName, func([]hocl.Atom) ([]hocl.Atom, error) {
+			return nil, a.fireTrigger(trig)
+		})
+	}
+}
+
+// invoke implements the gw_call external function: resolve the service,
+// charge its modelled duration on the clock and return the result (or
+// ERROR on service-level failure). Fault injection interrupts the
+// invocation with a CrashError after the planned delay, aborting the
+// reduction — the supervisor takes over from there.
+func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("invoke: missing service name")
+	}
+	svcName, ok := args[0].(hocl.Str)
+	if !ok {
+		return nil, fmt.Errorf("invoke: service name is %s, want string", args[0].Kind())
+	}
+	svc, ok := a.cfg.Services.Lookup(string(svcName))
+	if !ok {
+		return nil, fmt.Errorf("invoke: unknown service %q", svcName)
+	}
+	var params []hocl.Atom
+	if len(args) > 1 {
+		if l, ok := args[1].(hocl.List); ok {
+			params = l
+		}
+	}
+
+	dur := svc.InvocationDuration(a.rng)
+	a.cfg.Trace.Record(trace.ServiceInvoked, a.name, a.cfg.Incarnation, string(svcName))
+	if plan := a.cfg.Injector.Next(); plan.Crash && plan.After <= dur {
+		// The failure hits while the service is still running (§V-D:
+		// only services whose duration exceeds T are at risk).
+		a.clock().Sleep(plan.After)
+		a.cfg.Trace.Record(trace.AgentCrashed, a.name, a.cfg.Incarnation, string(svcName))
+		return nil, &CrashError{Task: a.name, Incarnation: a.cfg.Incarnation, At: a.clock().Now()}
+	}
+	a.clock().Sleep(dur)
+
+	result, err := svc.Invoke(params)
+	if err != nil {
+		a.cfg.Trace.Record(trace.ServiceErrored, a.name, a.cfg.Incarnation, string(svcName))
+		return []hocl.Atom{hoclflow.AtomERROR}, nil
+	}
+	a.cfg.Trace.Record(trace.ServiceCompleted, a.name, a.cfg.Incarnation, string(svcName))
+	return []hocl.Atom{result}, nil
+}
+
+// send implements the decentralised gw_pass product (§IV-A): ship the
+// result molecules directly to the destination agent's inbox. Link
+// latency to the destination's node is charged asynchronously — the
+// message is on the wire, the sender moves on.
+func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("send: missing destination")
+	}
+	dst, ok := args[0].(hocl.Ident)
+	if !ok {
+		return nil, fmt.Errorf("send: destination is %s, want task name", args[0].Kind())
+	}
+	payload := hoclflow.PassMessage(a.name, cloneAtoms(args[1:])).String()
+	a.publishWithLatency(Topic(a.cfg.TopicPrefix, string(dst)), payload, a.linkLatencyTo(string(dst)))
+	a.sends.Add(1)
+	a.cfg.Trace.Record(trace.ResultSent, a.name, a.cfg.Incarnation, string(dst))
+	return nil, nil
+}
+
+// fireTrigger implements the decentralised trigger_adapt (§IV-A): the
+// interpreter that detected the failure messages ADAPT to the agents
+// hosting add_dst/mv_src rules and records TRIGGER in the shared space.
+func (a *Agent) fireTrigger(trig workflow.TriggerSpec) error {
+	a.cfg.Trace.Record(trace.AdaptTriggered, a.name, a.cfg.Incarnation, trig.AdaptationID)
+	marker := hoclflow.AdaptMarker(trig.AdaptationID).String()
+	for _, peer := range trig.Notify {
+		a.publishWithLatency(Topic(a.cfg.TopicPrefix, peer), marker, a.linkLatencyTo(peer))
+		a.sends.Add(1)
+	}
+	a.publishWithLatency(a.spaceTopic(), hoclflow.TriggerMarker(trig.AdaptationID).String(), 0)
+	return nil
+}
+
+func (a *Agent) linkLatencyTo(peer string) float64 {
+	if a.cfg.Placements == nil || a.cfg.Node == nil {
+		return 0
+	}
+	return a.cfg.Cluster.Latency(a.cfg.Node, a.cfg.Placements[peer])
+}
+
+// publishWithLatency ships a payload after the given link latency without
+// blocking the reduction.
+func (a *Agent) publishWithLatency(topic, payload string, latency float64) {
+	if latency <= 0 {
+		_ = a.cfg.Broker.Publish(topic, payload)
+		return
+	}
+	go func() {
+		a.clock().Sleep(latency)
+		_ = a.cfg.Broker.Publish(topic, payload)
+	}()
+}
+
+// pushStatus publishes the task's current sub-solution to the shared
+// space ("often pushed back (written) to the multiset", §IV-A). Rules
+// and the NAME atom are stripped: the space tracks data state, and rules
+// do not round-trip cheaply.
+func (a *Agent) pushStatus() {
+	sub := hocl.NewSolution()
+	for _, atom := range a.local.Atoms() {
+		if _, isRule := atom.(*hocl.Rule); isRule {
+			continue
+		}
+		if tp, ok := atom.(hocl.Tuple); ok && len(tp) == 2 && tp[0].Equal(hoclflow.KeyNAME) {
+			continue
+		}
+		sub.Add(atom.Clone())
+	}
+	payload := hocl.Tuple{hocl.Ident(a.name), sub}.String()
+	if payload == a.lastPush {
+		return
+	}
+	a.lastPush = payload
+	_ = a.cfg.Broker.Publish(a.spaceTopic(), payload)
+}
+
+// reduce runs the interpreter over the local solution and pushes status.
+func (a *Agent) reduce() error {
+	a.reductions.Add(1)
+	if err := a.engine.Reduce(a.local); err != nil {
+		return err
+	}
+	if !a.completedSeen && hoclflow.StatusOf(a.local) == hoclflow.StatusCompleted {
+		a.completedSeen = true
+		a.cfg.Trace.Record(trace.TaskCompleted, a.name, a.cfg.Incarnation, "")
+	}
+	a.pushStatus()
+	return nil
+}
+
+// ingest parses a message payload and adds its molecules to the local
+// solution. Undecodable payloads are dropped (logged via error count in
+// the supervisor if needed) — a poisoned message must not kill the agent.
+func (a *Agent) ingest(payload string) {
+	atoms, err := hocl.ParseMolecules(payload)
+	if err != nil {
+		return
+	}
+	a.local.Add(atoms...)
+}
+
+// Subscribe attaches the agent to its inbox topic. The engine subscribes
+// every agent before starting any of them: a peer that finishes fast
+// cannot publish a result into the void (on the volatile queue broker
+// that message would be lost forever). Subscribe is idempotent.
+func (a *Agent) Subscribe() error {
+	if a.sub != nil {
+		return nil
+	}
+	sub, err := a.cfg.Broker.Subscribe(a.inboxTopic())
+	if err != nil {
+		return fmt.Errorf("agent %s: %w", a.name, err)
+	}
+	a.sub = sub
+	return nil
+}
+
+// Run executes the agent until the context ends or a crash is injected.
+// The sequence implements §IV-A/§IV-B:
+//
+//  1. subscribe to the inbox topic if Subscribe has not been called yet
+//     (before replay, so no message can fall between the log snapshot
+//     and the live feed);
+//  2. on recovery, replay the persisted inbox log in order, rebuilding
+//     the local state — the agent "lifecycle is a sequence of receptions
+//     and reductions", so replaying receptions reproduces the state;
+//  3. reduce (entry tasks invoke their service right away);
+//  4. loop: receive molecules, reduce, push status.
+func (a *Agent) Run(ctx context.Context) error {
+	if err := a.Subscribe(); err != nil {
+		return err
+	}
+	sub := a.sub
+	defer sub.Cancel()
+
+	a.cfg.Trace.Record(trace.AgentStarted, a.name, a.cfg.Incarnation, "")
+	if a.cfg.Incarnation > 0 {
+		if replayable, ok := a.cfg.Broker.(mq.Replayable); ok {
+			for _, msg := range replayable.Log(a.inboxTopic()) {
+				a.ingest(msg.Payload)
+			}
+		}
+	}
+	if err := a.reduce(); err != nil {
+		return err
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case msg := <-sub.C():
+			a.ingest(msg.Payload)
+			// Drain whatever else is already queued before reducing:
+			// one reduction can absorb a burst of arrivals.
+			for drained := true; drained; {
+				select {
+				case more := <-sub.C():
+					a.ingest(more.Payload)
+				default:
+					drained = false
+				}
+			}
+			if err := a.reduce(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func cloneAtoms(atoms []hocl.Atom) []hocl.Atom {
+	out := make([]hocl.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+// Package cluster simulates the distributed platform GinFlow runs on —
+// the stand-in for the paper's Grid'5000 testbed (§V: up to 25 nodes,
+// 1 Gbps Ethernet, two service agents per core).
+//
+// All modelled durations are expressed in model seconds and realised by
+// sleeping scaledDuration = modelSeconds × Clock.Scale real time. With
+// the default scale of 1 ms per model second, an experiment the paper
+// reports as 484 s runs in roughly half a real second while preserving
+// every concurrency interleaving. Reported numbers are read back in
+// model seconds, so they are directly comparable to the paper's figures.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// DefaultScale is the default real-time cost of one model second.
+const DefaultScale = time.Millisecond
+
+// Clock converts model time to scaled real time. The zero value is not
+// usable; use NewClock.
+type Clock struct {
+	scale time.Duration
+	start time.Time
+}
+
+// NewClock returns a clock charging `scale` of real time per model
+// second. A non-positive scale falls back to DefaultScale.
+func NewClock(scale time.Duration) *Clock {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	return &Clock{scale: scale, start: time.Now()}
+}
+
+// Scale returns the real-time cost of one model second.
+func (c *Clock) Scale() time.Duration { return c.scale }
+
+// Sleep blocks for the scaled equivalent of the given model seconds.
+// Negative or zero durations return immediately.
+func (c *Clock) Sleep(modelSeconds float64) {
+	if modelSeconds <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(modelSeconds * float64(c.scale)))
+}
+
+// Now returns the model seconds elapsed since the clock was created.
+func (c *Clock) Now() float64 {
+	return float64(time.Since(c.start)) / float64(c.scale)
+}
+
+// Node is one machine of the simulated platform. The paper limits
+// deployment to two service agents per core (§V); Slots enforces it.
+type Node struct {
+	ID    int
+	Cores int
+	// Name is an optional human-readable machine label (config files).
+	Name string
+
+	mu    sync.Mutex
+	inUse int
+}
+
+// Slots returns the agent capacity of the node (2 per core).
+func (n *Node) Slots() int { return 2 * n.Cores }
+
+// Allocate reserves one agent slot, reporting false when the node is
+// full.
+func (n *Node) Allocate() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inUse >= n.Slots() {
+		return false
+	}
+	n.inUse++
+	return true
+}
+
+// Release frees one agent slot.
+func (n *Node) Release() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inUse > 0 {
+		n.inUse--
+	}
+}
+
+// InUse returns the number of allocated slots.
+func (n *Node) InUse() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inUse
+}
+
+func (n *Node) String() string {
+	if n.Name != "" {
+		return n.Name
+	}
+	return fmt.Sprintf("node-%d", n.ID)
+}
+
+// Config sizes the simulated platform.
+type Config struct {
+	// Nodes is the machine count (the paper uses 5..25).
+	Nodes int
+	// CoresPerNode sizes each machine (568 cores / 25 nodes ≈ 23 in the
+	// paper; default 24).
+	CoresPerNode int
+	// LinkLatency is the one-way network latency between two distinct
+	// nodes, in model seconds. The default is 0: transport cost is
+	// carried by the broker's per-message latency, since host timer
+	// granularity (~1.2 ms real) makes sub-model-second sleeps
+	// meaningless at the default scale.
+	LinkLatency float64
+	// Scale is the real-time cost of one model second (default 1 ms).
+	Scale time.Duration
+	// Seed makes the simulation reproducible (default 1).
+	Seed int64
+	// NodeSpecs, when non-empty, describes heterogeneous machines
+	// explicitly (e.g. loaded from a configuration file); it overrides
+	// Nodes and CoresPerNode.
+	NodeSpecs []NodeSpec
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.NodeSpecs) > 0 {
+		c.Nodes = len(c.NodeSpecs)
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 25
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 24
+	}
+	if c.LinkLatency < 0 {
+		c.LinkLatency = 0
+	}
+	if c.Scale <= 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Cluster is the simulated platform: nodes, a shared model clock and a
+// link-latency model.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+	clock *Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a cluster from the config (zero values take defaults).
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:   cfg,
+		clock: NewClock(cfg.Scale),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		node := &Node{ID: i, Cores: cfg.CoresPerNode}
+		if i < len(cfg.NodeSpecs) {
+			spec := cfg.NodeSpecs[i]
+			node.Cores = spec.Cores
+			node.Name = spec.Name
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+// Nodes returns the platform's machines.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the i-th machine.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Clock returns the shared model clock.
+func (c *Cluster) Clock() *Clock { return c.clock }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Latency returns the one-way message latency between two nodes in model
+// seconds (zero within a node).
+func (c *Cluster) Latency(from, to *Node) float64 {
+	if from == nil || to == nil || from.ID == to.ID {
+		return 0
+	}
+	return c.cfg.LinkLatency
+}
+
+// TotalSlots returns the agent capacity of the whole platform.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Slots()
+	}
+	return total
+}
+
+// Rand derives a new deterministic RNG stream from the cluster seed.
+// Each caller gets an independent stream, so concurrent consumers do not
+// contend on one generator.
+func (c *Cluster) Rand() *rand.Rand {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return rand.New(rand.NewSource(c.rng.Int63()))
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// NodeSpec describes one machine in a cluster configuration file.
+type NodeSpec struct {
+	// Name is a human-readable machine label (optional).
+	Name string `json:"name,omitempty"`
+	// Cores sizes the machine; agents get 2 slots per core.
+	Cores int `json:"cores"`
+}
+
+// FileConfig is the on-disk form of a platform description — the
+// "predefined set of machines, to be specified in the GinFlow
+// configuration file" that the SSH executor deploys onto (paper §IV-C).
+//
+//	{
+//	  "nodes": [
+//	    {"name": "paravance-1", "cores": 16},
+//	    {"name": "paravance-2", "cores": 16}
+//	  ],
+//	  "linkLatency": 0.5,
+//	  "seed": 42
+//	}
+type FileConfig struct {
+	Nodes       []NodeSpec `json:"nodes"`
+	LinkLatency float64    `json:"linkLatency,omitempty"` // model seconds
+	Seed        int64      `json:"seed,omitempty"`
+	// ScaleMicros overrides the clock scale, in microseconds of real
+	// time per model second (0 keeps the default).
+	ScaleMicros int64 `json:"scaleMicros,omitempty"`
+}
+
+// ParseConfigFile decodes a platform description. Unknown fields are
+// rejected.
+func ParseConfigFile(data []byte) (Config, error) {
+	var fc FileConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("cluster: decoding config file: %w", err)
+	}
+	if len(fc.Nodes) == 0 {
+		return Config{}, fmt.Errorf("cluster: config file lists no nodes")
+	}
+	cores := 0
+	for i, n := range fc.Nodes {
+		if n.Cores <= 0 {
+			return Config{}, fmt.Errorf("cluster: node %d (%q) has %d cores", i, n.Name, n.Cores)
+		}
+		cores += n.Cores
+	}
+	cfg := Config{
+		Nodes:       len(fc.Nodes),
+		LinkLatency: fc.LinkLatency,
+		Seed:        fc.Seed,
+		NodeSpecs:   append([]NodeSpec(nil), fc.Nodes...),
+	}
+	// CoresPerNode backs TotalSlots estimates for uniform helpers; with
+	// explicit specs the per-node values win.
+	cfg.CoresPerNode = cores / len(fc.Nodes)
+	if fc.ScaleMicros > 0 {
+		cfg.Scale = time.Duration(fc.ScaleMicros) * time.Microsecond
+	}
+	return cfg, nil
+}

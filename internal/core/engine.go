@@ -1,0 +1,365 @@
+// Package core implements the GinFlow engine: the paper's contribution
+// assembled. It translates a workflow definition to HOCL, provisions
+// service agents on the simulated platform through an executor, wires
+// them to a message broker and the shared space, supervises them
+// (respawning crashed agents with log replay, §IV-B), and reports the
+// run: deployment time, execution time, failures, recoveries, triggered
+// adaptations and results — the quantities the paper's evaluation
+// (§V) is built from.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/executor"
+	"ginflow/internal/failure"
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+	"ginflow/internal/space"
+	"ginflow/internal/trace"
+	"ginflow/internal/workflow"
+)
+
+// Config selects the run environment, mirroring the paper's CLI options
+// ("executor, messaging framework, credentials, etc.", §IV-D).
+type Config struct {
+	// Executor: ssh, mesos or centralized (default ssh).
+	Executor executor.Kind
+	// Broker: activemq or kafka (default activemq). Ignored by the
+	// centralized executor.
+	Broker mq.Kind
+	// Cluster sizes the simulated platform.
+	Cluster cluster.Config
+	// SSH / Mesos / EC2 tune the executors (zero values take defaults).
+	SSH   executor.SSH
+	Mesos executor.Mesos
+	EC2   executor.EC2
+
+	// FailureP / FailureT drive fault injection (§V-D): each service
+	// invocation crashes its agent with probability FailureP after
+	// FailureT model seconds (if the service is still running).
+	FailureP float64
+	FailureT float64
+	// RestartDelay is the modelled cost of respawning a crashed agent
+	// (default 2 model seconds).
+	RestartDelay float64
+	// MaxRecoveries bounds total respawns, a runaway guard (default 100000).
+	MaxRecoveries int
+
+	// Timeout bounds the whole run in real time (default 120 s).
+	Timeout time.Duration
+
+	// CollectTrace records the enactment timeline (agent lifecycle,
+	// invocations, transfers, adaptations, crashes) into Report.Events.
+	CollectTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executor == "" {
+		c.Executor = executor.KindSSH
+	}
+	if c.Broker == "" {
+		c.Broker = mq.KindQueue
+	}
+	if c.RestartDelay <= 0 {
+		c.RestartDelay = 2.0
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 100000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return c
+}
+
+// Report summarises one workflow run. Times are model seconds.
+type Report struct {
+	Workflow string
+	Executor string
+	Broker   string
+
+	Tasks  int // main tasks
+	Agents int // deployed agents (main + replacement)
+	Nodes  int
+
+	DeployTime float64
+	ExecTime   float64
+	TotalTime  float64
+
+	Failures   int // observed injected crashes
+	Recoveries int // respawned incarnations
+	Messages   int64
+
+	Adaptations []string // adaptation IDs that triggered
+	Statuses    map[string]hoclflow.Status
+	Results     map[string][]string // exit task -> rendered result atoms
+
+	// Events is the enactment timeline (only when Config.CollectTrace).
+	Events []trace.Event
+}
+
+// String renders a compact single-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s [%s/%s] agents=%d deploy=%.2fs exec=%.2fs failures=%d recoveries=%d msgs=%d adaptations=%v",
+		r.Workflow, r.Executor, r.Broker, r.Agents, r.DeployTime, r.ExecTime,
+		r.Failures, r.Recoveries, r.Messages, r.Adaptations)
+}
+
+// Run executes the workflow on the configured environment and returns
+// the run report.
+func Run(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	if cfg.Executor == executor.KindCentralized {
+		return runCentralized(ctx, def, services, cfg)
+	}
+	return runDistributed(ctx, def, services, cfg)
+}
+
+// runCentralized executes the whole workflow on a single HOCL
+// interpreter over the global multiset — the §III semantics, useful as a
+// baseline and for debugging (the paper's "centralized executor").
+func runCentralized(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
+	prog, err := def.TranslateCentral()
+	if err != nil {
+		return nil, err
+	}
+	clus := cluster.New(cfg.Cluster)
+	clock := clus.Clock()
+	rng := clus.Rand()
+
+	eng := hocl.NewEngine()
+	eng.Funcs.Register(hoclflow.FnInvoke, func(args []hocl.Atom) ([]hocl.Atom, error) {
+		name, ok := args[0].(hocl.Str)
+		if !ok {
+			return nil, fmt.Errorf("invoke: bad service name %v", args[0])
+		}
+		svc, ok := services.Lookup(string(name))
+		if !ok {
+			return nil, fmt.Errorf("invoke: unknown service %q", name)
+		}
+		var params []hocl.Atom
+		if len(args) > 1 {
+			if l, ok := args[1].(hocl.List); ok {
+				params = l
+			}
+		}
+		clock.Sleep(svc.InvocationDuration(rng))
+		res, err := svc.Invoke(params)
+		if err != nil {
+			return []hocl.Atom{hoclflow.AtomERROR}, nil
+		}
+		return []hocl.Atom{res}, nil
+	})
+	for name, fn := range prog.Funcs {
+		eng.Funcs.Register(name, fn)
+	}
+
+	start := clock.Now()
+	if err := eng.Reduce(prog.Global); err != nil {
+		return nil, err
+	}
+	execTime := clock.Now() - start
+
+	rep := &Report{
+		Workflow: def.Name,
+		Executor: string(executor.KindCentralized),
+		Broker:   "none",
+		Tasks:    def.TaskCount(),
+		Agents:   0,
+		Nodes:    len(clus.Nodes()),
+		ExecTime: execTime, TotalTime: execTime,
+		Statuses: map[string]hoclflow.Status{},
+		Results:  map[string][]string{},
+	}
+	for _, id := range def.AllTaskIDs() {
+		if sub := hoclflow.FindTaskSub(prog.Global, id); sub != nil {
+			rep.Statuses[id] = hoclflow.StatusOf(sub)
+		}
+	}
+	for _, exit := range def.Exits() {
+		sub := hoclflow.FindTaskSub(prog.Global, exit)
+		if sub == nil {
+			continue
+		}
+		for _, a := range hoclflow.Results(sub) {
+			rep.Results[exit] = append(rep.Results[exit], a.String())
+		}
+		if rep.Statuses[exit] != hoclflow.StatusCompleted {
+			return rep, fmt.Errorf("core: workflow stalled: exit task %s is %v", exit, rep.Statuses[exit])
+		}
+	}
+	for _, m := range prog.Global.Atoms() {
+		if tp, ok := m.(hocl.Tuple); ok && len(tp) == 2 && tp[0].Equal(hoclflow.KeyTRIGGER) {
+			if id, ok := tp[1].(hocl.Str); ok {
+				rep.Adaptations = append(rep.Adaptations, string(id))
+			}
+		}
+	}
+	sort.Strings(rep.Adaptations)
+	return rep, nil
+}
+
+// runDistributed provisions agents through the executor and runs the
+// decentralised engine.
+func runDistributed(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
+	specs, err := def.TranslateAgents()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := executorFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	clus := cluster.New(cfg.Cluster)
+	clock := clus.Clock()
+	broker, err := mq.NewBroker(cfg.Broker, clock)
+	if err != nil {
+		return nil, err
+	}
+	defer broker.Close()
+
+	// The space consumes status updates; attach before any agent runs.
+	sp := space.New()
+	if err := sp.Attach(broker, space.DefaultTopic); err != nil {
+		return nil, err
+	}
+	spaceCtx, stopSpace := context.WithCancel(context.Background())
+	defer stopSpace()
+	spaceFailed := make(chan error, 1)
+	go func() {
+		err := sp.Serve(spaceCtx, broker, space.DefaultTopic)
+		if err != nil && spaceCtx.Err() == nil {
+			spaceFailed <- err
+		}
+	}()
+
+	// Deployment (§IV-C): claim resources, place agents.
+	placements, deployTime, err := exec.Deploy(ctx, specs, clus)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, p := range placements {
+			p.Node.Release()
+		}
+	}()
+
+	nodeOf := map[string]*cluster.Node{}
+	for _, p := range placements {
+		nodeOf[p.Spec.Task.Name] = p.Node
+	}
+
+	injector := failure.New(cfg.FailureP, cfg.FailureT, clus.Rand())
+
+	var recorder *trace.Recorder
+	if cfg.CollectTrace {
+		recorder = trace.NewRecorder(clock)
+	}
+
+	// Launch supervised agents. Every first incarnation subscribes
+	// before any agent starts reducing: a fast entry task must not
+	// publish results into the void (fatal on the volatile queue broker).
+	sup := &supervisor{
+		cluster: clus, broker: broker, services: services,
+		injector: injector, placements: nodeOf,
+		restartDelay: cfg.RestartDelay, maxRecoveries: cfg.MaxRecoveries,
+		recorder: recorder,
+	}
+	firstIncarnations := make([]*agent.Agent, len(placements))
+	for i, p := range placements {
+		a := sup.newAgent(p, 0)
+		if err := a.Subscribe(); err != nil {
+			return nil, err
+		}
+		firstIncarnations[i] = a
+	}
+
+	agentsCtx, stopAgents := context.WithCancel(ctx)
+	defer stopAgents()
+	execStart := clock.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(placements))
+	for i, p := range placements {
+		wg.Add(1)
+		go func(p executor.Placement, first *agent.Agent) {
+			defer wg.Done()
+			if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
+				errCh <- err
+			}
+		}(p, firstIncarnations[i])
+	}
+
+	// Wait for the exit tasks to report completion in the space.
+	waitErr := func() error {
+		done := make(chan error, 1)
+		go func() { done <- sp.WaitCompleted(ctx, def.Exits()) }()
+		select {
+		case err := <-done:
+			return err
+		case err := <-errCh:
+			return fmt.Errorf("core: agent failed: %w", err)
+		case err := <-spaceFailed:
+			return fmt.Errorf("core: space failed: %w", err)
+		}
+	}()
+	execTime := clock.Now() - execStart
+	stopAgents()
+	wg.Wait()
+
+	rep := &Report{
+		Workflow:   def.Name,
+		Executor:   exec.Name(),
+		Broker:     string(cfg.Broker),
+		Tasks:      def.TaskCount(),
+		Agents:     len(placements),
+		Nodes:      len(clus.Nodes()),
+		DeployTime: deployTime, ExecTime: execTime,
+		TotalTime:  deployTime + execTime,
+		Failures:   sup.failures(),
+		Recoveries: sup.recoveries(),
+		Messages:   broker.Published(),
+		Statuses:   map[string]hoclflow.Status{},
+		Results:    map[string][]string{},
+	}
+	rep.Adaptations = sp.Triggered()
+	rep.Events = recorder.Events()
+	for _, id := range def.AllTaskIDs() {
+		rep.Statuses[id] = sp.Status(id)
+	}
+	for _, exit := range def.Exits() {
+		for _, a := range sp.Results(exit) {
+			rep.Results[exit] = append(rep.Results[exit], a.String())
+		}
+	}
+	if waitErr != nil {
+		return rep, fmt.Errorf("core: workflow did not complete: %w", waitErr)
+	}
+	return rep, nil
+}
+
+func executorFor(cfg Config) (executor.Executor, error) {
+	switch cfg.Executor {
+	case executor.KindSSH:
+		ssh := cfg.SSH
+		return &ssh, nil
+	case executor.KindMesos:
+		m := cfg.Mesos
+		return &m, nil
+	case executor.KindEC2:
+		e := cfg.EC2
+		return &e, nil
+	default:
+		return nil, fmt.Errorf("core: unknown distributed executor %q", cfg.Executor)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/executor"
+	"ginflow/internal/failure"
+	"ginflow/internal/mq"
+	"ginflow/internal/trace"
+)
+
+// supervisor keeps one goroutine per placement running agent
+// incarnations: when an incarnation dies of an injected crash, a
+// replacement is started on the same node after the modelled restart
+// delay ("when one SA fails ... another SA will be automatically started
+// to replace it", §IV-B). With a log-backed broker the replacement
+// replays its inbox; with a queue broker the pre-crash messages are lost
+// and the paper's recovery guarantee does not hold — which is exactly why
+// the resilience evaluation runs on Kafka.
+type supervisor struct {
+	cluster    *cluster.Cluster
+	broker     mq.Broker
+	services   *agent.Registry
+	injector   *failure.Injector
+	placements map[string]*cluster.Node
+
+	restartDelay  float64
+	maxRecoveries int
+	recorder      *trace.Recorder
+
+	failureCount  atomic.Int64
+	recoveryCount atomic.Int64
+}
+
+func (s *supervisor) failures() int   { return int(s.failureCount.Load()) }
+func (s *supervisor) recoveries() int { return int(s.recoveryCount.Load()) }
+
+// newAgent builds one incarnation for a placement.
+func (s *supervisor) newAgent(p executor.Placement, incarnation int) *agent.Agent {
+	return agent.New(agent.Config{
+		Spec:        p.Spec,
+		Broker:      s.broker,
+		Cluster:     s.cluster,
+		Node:        p.Node,
+		Placements:  s.placements,
+		Services:    s.services,
+		Injector:    s.injector,
+		Incarnation: incarnation,
+		Trace:       s.recorder,
+	})
+}
+
+// run drives agent incarnations for one placement until the context ends
+// or an unrecoverable error occurs. The caller provides the first
+// incarnation (already subscribed, so the engine can barrier on
+// subscriptions before any agent starts).
+func (s *supervisor) run(ctx context.Context, p executor.Placement, first *agent.Agent) error {
+	for incarnation := 0; ; incarnation++ {
+		a := first
+		if incarnation > 0 || a == nil {
+			a = s.newAgent(p, incarnation)
+		}
+		err := a.Run(ctx)
+		switch {
+		case err == nil:
+			return nil // context ended: orderly shutdown
+		case agent.IsCrash(err):
+			s.failureCount.Add(1)
+			if int(s.recoveryCount.Load()) >= s.maxRecoveries {
+				return fmt.Errorf("supervisor: recovery budget exhausted: %w", err)
+			}
+			s.recoveryCount.Add(1)
+			// Modelled respawn cost: detection + rescheduling.
+			s.cluster.Clock().Sleep(s.restartDelay)
+			if ctx.Err() != nil {
+				return nil
+			}
+			s.recorder.Record(trace.AgentRecovered, p.Spec.Task.Name, incarnation+1, "")
+		default:
+			return err
+		}
+	}
+}

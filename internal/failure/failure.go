@@ -1,0 +1,86 @@
+// Package failure implements the fault-injection methodology of the
+// paper's resilience evaluation (§V-D): "each running agent failed with a
+// predefined probability p after a certain period of time T. Note that a
+// restarted agent can fail again. Thus, in this model we can expect
+// p/(1-p) × N_T failures where N_T is the number of services whose
+// duration is greater than T."
+package failure
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Plan is the fate drawn for one agent incarnation: whether it will
+// crash, and how long after its service invocation starts.
+type Plan struct {
+	Crash bool
+	// After is the crash delay in model seconds from service start. A
+	// crash only materialises if the service's duration exceeds After
+	// (shorter services finish before the failure hits), which is what
+	// makes N_T the population at risk.
+	After float64
+}
+
+// Injector draws crash plans. The zero value never injects failures and
+// is safe for concurrent use, as is a configured injector.
+type Injector struct {
+	// P is the per-incarnation crash probability.
+	P float64
+	// T is the crash delay in model seconds.
+	T float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+// New returns an injector with probability p and delay t (model
+// seconds), drawing from the given RNG (which the injector takes
+// ownership of). A nil rng disables injection regardless of p.
+func New(p, t float64, rng *rand.Rand) *Injector {
+	return &Injector{P: p, T: t, rng: rng}
+}
+
+// Enabled reports whether the injector can produce failures.
+func (i *Injector) Enabled() bool {
+	return i != nil && i.rng != nil && i.P > 0
+}
+
+// Next draws the fate of one agent incarnation.
+func (i *Injector) Next() Plan {
+	if !i.Enabled() {
+		return Plan{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.rng.Float64() >= i.P {
+		return Plan{}
+	}
+	i.injected++
+	return Plan{Crash: true, After: i.T}
+}
+
+// Injected returns the number of crash plans drawn so far. Note that
+// plans whose delay exceeds the service duration do not materialise as
+// observed failures; compare with the engine's failure count.
+func (i *Injector) Injected() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// ExpectedFailures returns the paper's p/(1-p) × nT estimate of observed
+// failures, where nT is the number of services whose duration exceeds T.
+func ExpectedFailures(p float64, nT int) float64 {
+	if p >= 1 {
+		return float64(nT) * 1e9 // divergent: every incarnation fails
+	}
+	if p <= 0 {
+		return 0
+	}
+	return p / (1 - p) * float64(nT)
+}

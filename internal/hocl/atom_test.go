@@ -1,0 +1,192 @@
+package hocl
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt: "int", KindFloat: "float", KindStr: "string",
+		KindBool: "bool", KindIdent: "ident", KindTuple: "tuple",
+		KindList: "list", KindSolution: "solution", KindRule: "rule",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestBasicAtomEquality(t *testing.T) {
+	cases := []struct {
+		a, b Atom
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // different kinds are never equal
+		{Float(1.5), Float(1.5), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Ident("a"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Ident("ERROR"), Ident("ERROR"), true},
+		{Ident("ERROR"), Ident("ADAPT"), false},
+		{Tuple{Ident("SRC"), Int(1)}, Tuple{Ident("SRC"), Int(1)}, true},
+		{Tuple{Ident("SRC"), Int(1)}, Tuple{Ident("SRC"), Int(2)}, false},
+		{Tuple{Int(1), Int(2)}, Tuple{Int(1), Int(2), Int(3)}, false},
+		{List{Int(1), Int(2)}, List{Int(1), Int(2)}, true},
+		{List{Int(1), Int(2)}, List{Int(2), Int(1)}, false}, // lists are ordered
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSolutionEqualityIsMultiset(t *testing.T) {
+	a := NewSolution(Int(1), Int(2), Int(2))
+	b := NewSolution(Int(2), Int(1), Int(2))
+	c := NewSolution(Int(1), Int(2))
+	d := NewSolution(Int(1), Int(1), Int(2))
+	if !a.Equal(b) {
+		t.Errorf("order must not matter: %v != %v", a, b)
+	}
+	if a.Equal(c) {
+		t.Errorf("different sizes must differ: %v == %v", a, c)
+	}
+	if a.Equal(d) {
+		t.Errorf("multiplicities must matter: %v == %v", a, d)
+	}
+}
+
+func TestSolutionOps(t *testing.T) {
+	s := NewSolution(Int(1), Ident("A"), Int(1))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Count(Int(1)); got != 2 {
+		t.Errorf("Count(1) = %d, want 2", got)
+	}
+	if !s.Contains(Ident("A")) {
+		t.Error("Contains(A) = false")
+	}
+	if s.Contains(Ident("B")) {
+		t.Error("Contains(B) = true")
+	}
+	if !s.RemoveFirst(Int(1)) {
+		t.Error("RemoveFirst(1) failed")
+	}
+	if got := s.Count(Int(1)); got != 1 {
+		t.Errorf("after removal Count(1) = %d, want 1", got)
+	}
+	if s.RemoveFirst(Ident("Z")) {
+		t.Error("RemoveFirst(Z) should fail")
+	}
+}
+
+func TestSolutionRemoveIndices(t *testing.T) {
+	s := NewSolution(Int(0), Int(1), Int(2), Int(3), Int(4))
+	s.RemoveIndices([]int{1, 3})
+	want := NewSolution(Int(0), Int(2), Int(4))
+	if !s.Equal(want) {
+		t.Errorf("after RemoveIndices: %v, want %v", s, want)
+	}
+	s.RemoveIndices(nil) // no-op
+	if s.Len() != 3 {
+		t.Errorf("nil removal changed length")
+	}
+}
+
+func TestSolutionCloneIsDeep(t *testing.T) {
+	inner := NewSolution(Int(1))
+	s := NewSolution(Tuple{Ident("SRC"), inner})
+	c := s.CloneSolution()
+	inner.Add(Int(2))
+	clonedInner := c.At(0).(Tuple)[1].(*Solution)
+	if clonedInner.Len() != 1 {
+		t.Errorf("clone shares inner solution with original")
+	}
+}
+
+func TestInertnessFlagLifecycle(t *testing.T) {
+	s := NewSolution(Int(1))
+	if s.Inert() {
+		t.Error("fresh solution must not be inert")
+	}
+	s.SetInert(true)
+	if !s.Inert() {
+		t.Error("SetInert(true) had no effect")
+	}
+	s.Add(Int(2))
+	if s.Inert() {
+		t.Error("Add must clear inertness")
+	}
+	s.SetInert(true)
+	s.RemoveIndices([]int{0})
+	if s.Inert() {
+		t.Error("RemoveIndices must clear inertness")
+	}
+	s.SetInert(true)
+	s.ReplaceAt(0, Int(9))
+	if s.Inert() {
+		t.Error("ReplaceAt must clear inertness")
+	}
+}
+
+func TestFindTuple(t *testing.T) {
+	s := NewSolution(
+		Int(3),
+		Tuple{Ident("SRC"), NewSolution()},
+		Tuple{Ident("DST"), NewSolution(Ident("T2"))},
+	)
+	tp, idx := s.FindTuple(Ident("DST"))
+	if idx != 2 || tp == nil {
+		t.Fatalf("FindTuple(DST) idx = %d", idx)
+	}
+	if _, idx := s.FindTuple(Ident("RES")); idx != -1 {
+		t.Errorf("FindTuple(RES) found %d, want -1", idx)
+	}
+}
+
+func TestAtomStrings(t *testing.T) {
+	cases := []struct {
+		a    Atom
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{Float(2), "2.0"}, // floats keep a decimal marker
+		{Str("hi"), `"hi"`},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Ident("ERROR"), "ERROR"},
+		{Tuple{Ident("SRC"), Int(1)}, "SRC:1"},
+		{Tuple{Ident("A"), Tuple{Ident("B"), Int(1)}}, "A:(B:1)"},
+		{List{Int(1), Str("x")}, `[1, "x"]`},
+		{NewSolution(), "<>"},
+		{NewSolution(Int(1), Int(2)), "<1, 2>"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("%T String() = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestSubsolutionsAndRules(t *testing.T) {
+	r := MustParseRuleBody("r", "replace x by x", nil)
+	sub := NewSolution(Int(1))
+	s := NewSolution(sub, r, Int(5))
+	if got := len(s.Subsolutions()); got != 1 {
+		t.Errorf("Subsolutions = %d, want 1", got)
+	}
+	if got := len(s.Rules()); got != 1 {
+		t.Errorf("Rules = %d, want 1", got)
+	}
+}

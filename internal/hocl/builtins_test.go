@@ -1,0 +1,118 @@
+package hocl
+
+import (
+	"testing"
+)
+
+func callBuiltin(t *testing.T, name string, args ...Atom) ([]Atom, error) {
+	t.Helper()
+	fn, ok := NewFuncs().Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %q missing", name)
+	}
+	return fn(args)
+}
+
+func TestNumericFoldBuiltins(t *testing.T) {
+	cases := []struct {
+		fn   string
+		args []Atom
+		want Atom
+	}{
+		{"sum", []Atom{Int(1), Int(2), Int(3)}, Int(6)},
+		{"sum", []Atom{List{Int(1), Int(2)}}, Int(3)},
+		{"sum", []Atom{Int(1), Float(0.5)}, Float(1.5)},
+		{"sum", nil, Int(0)},
+		{"product", []Atom{Int(2), Int(3), Int(4)}, Int(24)},
+		{"product", nil, Int(1)},
+		{"minimum", []Atom{Int(4), Int(2), Int(9)}, Int(2)},
+		{"maximum", []Atom{List{Float(1.5), Int(3)}}, Float(3)},
+		{"count", []Atom{Int(1), Str("a"), Bool(true)}, Int(3)},
+		{"count", nil, Int(0)},
+	}
+	for _, c := range cases {
+		out, err := callBuiltin(t, c.fn, c.args...)
+		if err != nil {
+			t.Errorf("%s(%v): %v", c.fn, c.args, err)
+			continue
+		}
+		if len(out) != 1 || !out[0].Equal(c.want) {
+			t.Errorf("%s(%v) = %v, want %v", c.fn, c.args, out, c.want)
+		}
+	}
+}
+
+func TestNumericBuiltinErrors(t *testing.T) {
+	if _, err := callBuiltin(t, "sum", Str("x")); err == nil {
+		t.Error("sum over strings accepted")
+	}
+	if _, err := callBuiltin(t, "minimum"); err == nil {
+		t.Error("minimum of nothing accepted")
+	}
+	if _, err := callBuiltin(t, "maximum", List{}); err == nil {
+		t.Error("maximum of empty list accepted")
+	}
+}
+
+func TestListBuiltins(t *testing.T) {
+	l := List{Int(3), Int(1), Int(2)}
+	if out, err := callBuiltin(t, "nth", l, Int(1)); err != nil || !out[0].Equal(Int(1)) {
+		t.Errorf("nth: %v, %v", out, err)
+	}
+	if _, err := callBuiltin(t, "nth", l, Int(5)); err == nil {
+		t.Error("nth out of range accepted")
+	}
+	if _, err := callBuiltin(t, "nth", l, Int(-1)); err == nil {
+		t.Error("negative nth accepted")
+	}
+	if out, err := callBuiltin(t, "reverse", l); err != nil || !out[0].Equal(List{Int(2), Int(1), Int(3)}) {
+		t.Errorf("reverse: %v, %v", out, err)
+	}
+	if out, err := callBuiltin(t, "sorted", l); err != nil || !out[0].Equal(List{Int(1), Int(2), Int(3)}) {
+		t.Errorf("sorted: %v, %v", out, err)
+	}
+	if _, err := callBuiltin(t, "sorted", List{Int(1), Bool(true)}); err == nil {
+		t.Error("sorting incomparable atoms accepted")
+	}
+	// sorted must not mutate its argument.
+	if !l.Equal(List{Int(3), Int(1), Int(2)}) {
+		t.Errorf("sorted mutated input: %v", l)
+	}
+}
+
+func TestContainsBuiltin(t *testing.T) {
+	l := List{Int(1), Str("x")}
+	if out, _ := callBuiltin(t, "contains", l, Str("x")); !out[0].Equal(Bool(true)) {
+		t.Error("contains missed a list member")
+	}
+	if out, _ := callBuiltin(t, "contains", l, Str("y")); !out[0].Equal(Bool(false)) {
+		t.Error("contains found a phantom")
+	}
+	sol := NewSolution(Ident("ADAPT"))
+	if out, _ := callBuiltin(t, "contains", sol, Ident("ADAPT")); !out[0].Equal(Bool(true)) {
+		t.Error("contains missed a solution member")
+	}
+	if _, err := callBuiltin(t, "contains", Int(1), Int(1)); err == nil {
+		t.Error("contains over int accepted")
+	}
+}
+
+// TestBuiltinsInPrograms exercises the new builtins through full HOCL
+// programs — the user-visible surface.
+func TestBuiltinsInPrograms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Atom
+	}{
+		{`let r = replace-one <*w> by sum(*w) in <<1, 2, 3>, r>`, Int(6)},
+		{`let r = replace-one x by maximum(x) in <[4, 9, 2], r>`, Int(9)},
+		{`let r = replace-one x by nth(sorted(x), 0) in <[3, 1, 2], r>`, Int(1)},
+		{`let r = replace-one x by x if contains([1, 2], x) in <2, r>`, Int(2)},
+	}
+	for _, c := range cases {
+		sol := reduceProgram(t, c.src)
+		if !sol.Contains(c.want) {
+			t.Errorf("program %q: final %v, want to contain %v", c.src, sol, c.want)
+		}
+	}
+}

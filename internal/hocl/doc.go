@@ -1,0 +1,43 @@
+// Package hocl implements the Higher-Order Chemical Language (HOCL), the
+// rule-based chemical programming language GinFlow is built on (Banâtre,
+// Fradet, Radenac: "Generalised multisets for chemical programming", MSCS
+// 2006; §III-A of the GinFlow paper).
+//
+// An HOCL program is a multiset of atoms — the solution — rewritten by
+// reaction rules that are themselves first-class atoms of the solution
+// (the "higher order"). A rule
+//
+//	let max = replace x, y by x if x >= y in <2, 3, 5, 8, 9, max>
+//
+// repeatedly consumes two atoms satisfying its guard and produces its
+// right-hand side, until no rule can fire anywhere: the solution is then
+// inert and the program has terminated.
+//
+// # Atoms
+//
+// Atoms are either basic — Int, Float, Str, Bool, Ident (a symbolic
+// constant such as ERROR or T1) — or structured: Tuple (ordered, written
+// A:B:C), List (an HOCLflow extension, written [a, b, c]), Solution (a
+// nested multiset, written <a, b, c>), and Rule.
+//
+// # Rules
+//
+// A rule `replace P1, ..., Pn by M1, ..., Mk if G` consumes atoms matching
+// the patterns P1..Pn (subject to guard G) and produces the molecules
+// M1..Mk. `replace` rules are catalysts: they remain in the solution after
+// firing. `replace-one` rules are one-shot: they disappear once fired.
+// The HOCLflow sugar `with P inject M` abbreviates
+// `replace-one P by P, M`.
+//
+// Patterns bind lowercase identifiers to single atoms and `*name` ("omega")
+// variables to the rest of a solution. A sub-solution pattern <...> only
+// matches an inert sub-solution, per HOCL semantics: inner programs finish
+// before their results are observable outside.
+//
+// # Text syntax
+//
+// The package includes a lexer, parser and printer for an ASCII rendering
+// of the paper's notation (⟨⟩ becomes <>, ω becomes *rest). Printing then
+// re-parsing any atom yields an equal atom; GinFlow uses this round-trip
+// property to ship molecules between service agents as plain text.
+package hocl

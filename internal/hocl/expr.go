@@ -1,0 +1,529 @@
+package hocl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a guard or product expression evaluated under a binding produced
+// by pattern matching. Products of a rule are expressions; evaluating them
+// yields the molecules inserted into the solution.
+type Expr interface {
+	exprNode()
+	// String renders the expression in parseable syntax.
+	String() string
+}
+
+// ELit is a literal atom (including rules embedded by the parser when a
+// product references a let-bound rule by name).
+type ELit struct{ Val Atom }
+
+// EVar references a pattern variable. For an ω variable the reference
+// splices the captured atoms into the enclosing element list.
+type EVar struct {
+	Name  string
+	Omega bool
+}
+
+// ECall invokes a registered external function with evaluated arguments.
+// Paper §III-A: "HOCL can also use external functions"; GinFlow uses them
+// for list construction, service invocation and message sending.
+type ECall struct {
+	Fn   string
+	Args []Expr
+}
+
+// ETuple builds a Tuple from element expressions.
+type ETuple struct{ Elems []Expr }
+
+// EList builds a List from element expressions (ω references splice).
+type EList struct{ Elems []Expr }
+
+// ESolution builds a Solution from element expressions (ω references
+// splice).
+type ESolution struct{ Elems []Expr }
+
+// EBinop is a binary operation: arithmetic (+ - * / %), comparison
+// (== != < <= > >=) or boolean (&& ||).
+type EBinop struct {
+	Op   string
+	L, R Expr
+}
+
+// EUnop is unary negation (-) or logical not (!).
+type EUnop struct {
+	Op string
+	X  Expr
+}
+
+func (*ELit) exprNode()      {}
+func (*EVar) exprNode()      {}
+func (*ECall) exprNode()     {}
+func (*ETuple) exprNode()    {}
+func (*EList) exprNode()     {}
+func (*ESolution) exprNode() {}
+func (*EBinop) exprNode()    {}
+func (*EUnop) exprNode()     {}
+
+func (e *ELit) String() string { return e.Val.String() }
+
+func (e *EVar) String() string {
+	if e.Omega {
+		return "*" + e.Name
+	}
+	return e.Name
+}
+
+func (e *ECall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (e *ETuple) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = exprTupleElem(el)
+	}
+	return strings.Join(parts, ":")
+}
+
+// exprTupleElem parenthesises tuple elements that would re-associate.
+func exprTupleElem(e Expr) string {
+	switch e.(type) {
+	case *ETuple, *EBinop, *EUnop:
+		return "(" + e.String() + ")"
+	default:
+		return e.String()
+	}
+}
+
+func (e *EList) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (e *ESolution) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (e *EBinop) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e *EUnop) String() string { return e.Op + exprTupleElem(e.X) }
+
+// Binding maps pattern variables to the atoms they captured. Atom
+// variables bind one atom; omega variables bind a slice (the "rest" of a
+// solution). Bindings use an undo log so the matcher can backtrack.
+type Binding struct {
+	atoms map[string]Atom
+	rests map[string][]Atom
+	log   []bindEntry
+}
+
+type bindEntry struct {
+	name  string
+	omega bool
+}
+
+// NewBinding returns an empty binding.
+func NewBinding() *Binding {
+	return &Binding{atoms: map[string]Atom{}, rests: map[string][]Atom{}}
+}
+
+// Atom returns the atom bound to name.
+func (b *Binding) Atom(name string) (Atom, bool) {
+	a, ok := b.atoms[name]
+	return a, ok
+}
+
+// Rest returns the atoms bound to the omega variable name.
+func (b *Binding) Rest(name string) ([]Atom, bool) {
+	r, ok := b.rests[name]
+	return r, ok
+}
+
+func (b *Binding) bindAtom(name string, a Atom) {
+	b.atoms[name] = a
+	b.log = append(b.log, bindEntry{name, false})
+}
+
+func (b *Binding) bindRest(name string, atoms []Atom) {
+	b.rests[name] = atoms
+	b.log = append(b.log, bindEntry{name, true})
+}
+
+// mark returns an undo checkpoint.
+func (b *Binding) mark() int { return len(b.log) }
+
+// undo rolls the binding back to a checkpoint.
+func (b *Binding) undo(mark int) {
+	for i := len(b.log) - 1; i >= mark; i-- {
+		e := b.log[i]
+		if e.omega {
+			delete(b.rests, e.name)
+		} else {
+			delete(b.atoms, e.name)
+		}
+	}
+	b.log = b.log[:mark]
+}
+
+// EvalError reports a failure while evaluating an expression. When the
+// failure originated in an external function, Err preserves the cause so
+// callers can unwrap domain errors (e.g. an injected agent crash) through
+// the interpreter.
+type EvalError struct {
+	Expr Expr
+	Msg  string
+	Err  error
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("hocl: eval %s: %s", e.Expr, e.Msg)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
+func evalErrf(e Expr, format string, args ...any) error {
+	return &EvalError{Expr: e, Msg: fmt.Sprintf(format, args...)}
+}
+
+// EvalScalar evaluates an expression to a single atom. Omega references
+// are invalid in scalar position (guards, operator operands).
+func EvalScalar(e Expr, env *Binding, funcs *Funcs) (Atom, error) {
+	switch x := e.(type) {
+	case *ELit:
+		return x.Val, nil
+	case *EVar:
+		if x.Omega {
+			return nil, evalErrf(e, "omega variable in scalar position")
+		}
+		a, ok := env.Atom(x.Name)
+		if !ok {
+			return nil, evalErrf(e, "unbound variable %q", x.Name)
+		}
+		return a, nil
+	case *ECall:
+		out, err := evalCall(x, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != 1 {
+			return nil, evalErrf(e, "function %s returned %d atoms in scalar position", x.Fn, len(out))
+		}
+		return out[0], nil
+	case *ETuple:
+		elems, err := EvalElems(x.Elems, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		if len(elems) < 2 {
+			return nil, evalErrf(e, "tuple needs at least 2 elements, got %d", len(elems))
+		}
+		return Tuple(elems), nil
+	case *EList:
+		elems, err := EvalElems(x.Elems, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return List(elems), nil
+	case *ESolution:
+		elems, err := EvalElems(x.Elems, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		return NewSolution(elems...), nil
+	case *EBinop:
+		return evalBinop(x, env, funcs)
+	case *EUnop:
+		return evalUnop(x, env, funcs)
+	default:
+		return nil, evalErrf(e, "unknown expression type %T", e)
+	}
+}
+
+// EvalElems evaluates an element list, splicing omega references and
+// multi-atom function results, and deep-cloning every produced atom so
+// products never alias consumed molecules.
+func EvalElems(elems []Expr, env *Binding, funcs *Funcs) ([]Atom, error) {
+	var out []Atom
+	for _, e := range elems {
+		switch x := e.(type) {
+		case *EVar:
+			if x.Omega {
+				rest, ok := env.Rest(x.Name)
+				if !ok {
+					return nil, evalErrf(e, "unbound omega variable %q", x.Name)
+				}
+				for _, a := range rest {
+					out = append(out, a.Clone())
+				}
+				continue
+			}
+			a, err := EvalScalar(e, env, funcs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a.Clone())
+		case *ECall:
+			atoms, err := evalCall(x, env, funcs)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range atoms {
+				out = append(out, a.Clone())
+			}
+		default:
+			a, err := EvalScalar(e, env, funcs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a.Clone())
+		}
+	}
+	return out, nil
+}
+
+func evalCall(x *ECall, env *Binding, funcs *Funcs) ([]Atom, error) {
+	if funcs == nil {
+		return nil, evalErrf(x, "no function registry for %s", x.Fn)
+	}
+	fn, ok := funcs.Lookup(x.Fn)
+	if !ok {
+		return nil, evalErrf(x, "unknown function %q", x.Fn)
+	}
+	args, err := EvalElems(x.Args, env, funcs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := fn(args)
+	if err != nil {
+		return nil, &EvalError{Expr: x, Msg: err.Error(), Err: err}
+	}
+	return out, nil
+}
+
+// EvalGuard evaluates a guard expression to a boolean. A nil guard is
+// true. Evaluation errors (type mismatches, unbound names) make the guard
+// false rather than aborting reduction: chemically, atoms that cannot
+// react simply do not react. getMax relies on this — the pair (rule, 2)
+// fails x >= y with a type error and is skipped.
+func EvalGuard(e Expr, env *Binding, funcs *Funcs) bool {
+	if e == nil {
+		return true
+	}
+	v, err := EvalScalar(e, env, funcs)
+	if err != nil {
+		return false
+	}
+	b, ok := v.(Bool)
+	return ok && bool(b)
+}
+
+func evalBinop(x *EBinop, env *Binding, funcs *Funcs) (Atom, error) {
+	// Short-circuit boolean operators.
+	if x.Op == "&&" || x.Op == "||" {
+		lv, err := EvalScalar(x.L, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := lv.(Bool)
+		if !ok {
+			return nil, evalErrf(x, "left operand of %s is %s, want bool", x.Op, lv.Kind())
+		}
+		if (x.Op == "&&" && !bool(lb)) || (x.Op == "||" && bool(lb)) {
+			return lb, nil
+		}
+		rv, err := EvalScalar(x.R, env, funcs)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(Bool)
+		if !ok {
+			return nil, evalErrf(x, "right operand of %s is %s, want bool", x.Op, rv.Kind())
+		}
+		return rb, nil
+	}
+
+	l, err := EvalScalar(x.L, env, funcs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := EvalScalar(x.R, env, funcs)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.Op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c, err := compareAtoms(l, r)
+		if err != nil {
+			return nil, evalErrf(x, "%v", err)
+		}
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arith(x, l, r)
+	default:
+		return nil, evalErrf(x, "unknown operator %q", x.Op)
+	}
+}
+
+func evalUnop(x *EUnop, env *Binding, funcs *Funcs) (Atom, error) {
+	v, err := EvalScalar(x.X, env, funcs)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		switch n := v.(type) {
+		case Int:
+			return -n, nil
+		case Float:
+			return -n, nil
+		}
+		return nil, evalErrf(x, "cannot negate %s", v.Kind())
+	case "!":
+		b, ok := v.(Bool)
+		if !ok {
+			return nil, evalErrf(x, "cannot negate non-bool %s", v.Kind())
+		}
+		return !b, nil
+	default:
+		return nil, evalErrf(x, "unknown unary operator %q", x.Op)
+	}
+}
+
+// compareAtoms orders two atoms: numbers compare numerically with int→float
+// promotion, strings lexicographically. Other kinds are unordered.
+func compareAtoms(l, r Atom) (int, error) {
+	switch a := l.(type) {
+	case Int:
+		switch b := r.(type) {
+		case Int:
+			return cmpInt(int64(a), int64(b)), nil
+		case Float:
+			return cmpFloat(float64(a), float64(b)), nil
+		}
+	case Float:
+		switch b := r.(type) {
+		case Int:
+			return cmpFloat(float64(a), float64(b)), nil
+		case Float:
+			return cmpFloat(float64(a), float64(b)), nil
+		}
+	case Str:
+		if b, ok := r.(Str); ok {
+			return strings.Compare(string(a), string(b)), nil
+		}
+	}
+	return 0, fmt.Errorf("cannot compare %s with %s", l.Kind(), r.Kind())
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func arith(x *EBinop, l, r Atom) (Atom, error) {
+	// String concatenation.
+	if x.Op == "+" {
+		if ls, ok := l.(Str); ok {
+			if rs, ok := r.(Str); ok {
+				return ls + rs, nil
+			}
+		}
+	}
+	li, lIsInt := l.(Int)
+	ri, rIsInt := r.(Int)
+	if lIsInt && rIsInt {
+		switch x.Op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, evalErrf(x, "division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, evalErrf(x, "modulo by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, evalErrf(x, "arithmetic on %s and %s", l.Kind(), r.Kind())
+	}
+	switch x.Op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return nil, evalErrf(x, "division by zero")
+		}
+		return Float(lf / rf), nil
+	default:
+		return nil, evalErrf(x, "operator %q not defined on floats", x.Op)
+	}
+}
+
+func toFloat(a Atom) (float64, bool) {
+	switch n := a.(type) {
+	case Int:
+		return float64(n), true
+	case Float:
+		return float64(n), true
+	}
+	return 0, false
+}

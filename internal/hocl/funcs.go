@@ -1,0 +1,173 @@
+package hocl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Func is an external function callable from rule guards and products.
+// It receives evaluated argument atoms and returns the atoms to splice
+// into the enclosing molecule list. The paper's HOCL interpreter calls
+// Java methods this way (§III-A); GinFlow uses external functions for
+// list construction, service invocation (invoke) and message sending.
+type Func func(args []Atom) ([]Atom, error)
+
+// Funcs is a registry of external functions. The zero value is empty and
+// ready to use; NewFuncs returns a registry preloaded with the built-ins.
+// Registries are safe for concurrent lookup and registration.
+type Funcs struct {
+	mu sync.RWMutex
+	m  map[string]Func
+}
+
+// NewFuncs returns a registry containing the built-in functions:
+//
+//	list(a1, ..., an)   -> [a1, ..., an]          (paper footnote 4)
+//	len(x)              -> element count of a list, solution, tuple or string
+//	head(l), tail(l)    -> first element / remainder of a list
+//	append(l, a...)     -> list with atoms appended
+//	concat(l1, l2)      -> concatenated lists
+//	str(a...)           -> string rendering of atoms, concatenated
+//	flatten(l)          -> splices a list's elements into the molecule list
+func NewFuncs() *Funcs {
+	f := &Funcs{m: map[string]Func{}}
+	f.registerBuiltins()
+	f.registerListBuiltins()
+	return f
+}
+
+// Register adds (or replaces) a function under the given name.
+func (f *Funcs) Register(name string, fn Func) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = map[string]Func{}
+	}
+	f.m[name] = fn
+}
+
+// Lookup returns the function registered under name.
+func (f *Funcs) Lookup(name string) (Func, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	fn, ok := f.m[name]
+	return fn, ok
+}
+
+// Names returns the sorted registered function names.
+func (f *Funcs) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.m))
+	for n := range f.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CloneInto copies every registration into dst (used by agents that extend
+// the shared built-ins with instance-bound functions).
+func (f *Funcs) CloneInto(dst *Funcs) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for n, fn := range f.m {
+		dst.Register(n, fn)
+	}
+}
+
+func (f *Funcs) registerBuiltins() {
+	f.Register("list", func(args []Atom) ([]Atom, error) {
+		return []Atom{List(append([]Atom(nil), args...))}, nil
+	})
+	f.Register("len", func(args []Atom) ([]Atom, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("len: want 1 argument, got %d", len(args))
+		}
+		switch v := args[0].(type) {
+		case List:
+			return []Atom{Int(len(v))}, nil
+		case Tuple:
+			return []Atom{Int(len(v))}, nil
+		case *Solution:
+			return []Atom{Int(v.Len())}, nil
+		case Str:
+			return []Atom{Int(len(v))}, nil
+		default:
+			return nil, fmt.Errorf("len: cannot measure %s", args[0].Kind())
+		}
+	})
+	f.Register("head", func(args []Atom) ([]Atom, error) {
+		l, err := oneList("head", args)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, fmt.Errorf("head: empty list")
+		}
+		return []Atom{l[0]}, nil
+	})
+	f.Register("tail", func(args []Atom) ([]Atom, error) {
+		l, err := oneList("tail", args)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, fmt.Errorf("tail: empty list")
+		}
+		return []Atom{List(append([]Atom(nil), l[1:]...))}, nil
+	})
+	f.Register("append", func(args []Atom) ([]Atom, error) {
+		if len(args) < 1 {
+			return nil, fmt.Errorf("append: want at least 1 argument")
+		}
+		l, ok := args[0].(List)
+		if !ok {
+			return nil, fmt.Errorf("append: first argument is %s, want list", args[0].Kind())
+		}
+		out := append(append(List(nil), l...), args[1:]...)
+		return []Atom{out}, nil
+	})
+	f.Register("concat", func(args []Atom) ([]Atom, error) {
+		var out List
+		for i, a := range args {
+			l, ok := a.(List)
+			if !ok {
+				return nil, fmt.Errorf("concat: argument %d is %s, want list", i+1, a.Kind())
+			}
+			out = append(out, l...)
+		}
+		return []Atom{out}, nil
+	})
+	f.Register("str", func(args []Atom) ([]Atom, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			if s, ok := a.(Str); ok {
+				parts[i] = string(s)
+			} else {
+				parts[i] = a.String()
+			}
+		}
+		return []Atom{Str(strings.Join(parts, ""))}, nil
+	})
+	f.Register("flatten", func(args []Atom) ([]Atom, error) {
+		l, err := oneList("flatten", args)
+		if err != nil {
+			return nil, err
+		}
+		return append([]Atom(nil), l...), nil
+	})
+}
+
+func oneList(fn string, args []Atom) (List, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%s: want 1 argument, got %d", fn, len(args))
+	}
+	l, ok := args[0].(List)
+	if !ok {
+		return nil, fmt.Errorf("%s: argument is %s, want list", fn, args[0].Kind())
+	}
+	return l, nil
+}

@@ -1,0 +1,81 @@
+package hocl
+
+import (
+	"testing"
+)
+
+// FuzzParseMolecules hardens the wire-format decoder: agents feed
+// broker payloads straight into it, so arbitrary bytes must never
+// panic, and anything that parses must round-trip through the printer.
+// The seed corpus doubles as a regression suite in plain `go test` runs.
+func FuzzParseMolecules(f *testing.F) {
+	seeds := []string{
+		"",
+		"42",
+		`RES:<"out-s1">, ADAPT:"a1"`,
+		`PASS:T1:<"x", [1, 2], <3>>`,
+		`T1:<SRC:<>, DST:<T2, T3>, SRV:"s1", IN:<"input">>`,
+		`(rule max = replace x, y by x if x >= y)`,
+		`(rule gw = replace-one SRC:<>, IN:<*w> by SRC:<>, PAR:list(*w))`,
+		"<<<<",
+		">>>",
+		"A:B:C:D:E",
+		`"unterminated`,
+		"1e9999",
+		"*orphan",
+		"let max = replace x by x in <max>",
+		"(rule _ = with X inject Y)",
+		"-",
+		"A:",
+		"[,]",
+		"/* unclosed",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		atoms, err := ParseMolecules(input)
+		if err != nil {
+			return
+		}
+		// Whatever parses must round-trip.
+		back, err := ParseMolecules(FormatMolecules(atoms))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", input, err)
+		}
+		if len(back) != len(atoms) {
+			t.Fatalf("round trip of %q changed arity: %d -> %d", input, len(atoms), len(back))
+		}
+		for i := range atoms {
+			if !atoms[i].Equal(back[i]) {
+				t.Fatalf("round trip of %q changed molecule %d: %v -> %v",
+					input, i, atoms[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzParseProgram hardens the full program parser the same way.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"let max = replace x, y by x if x >= y in <2, 3, max>",
+		"let a = replace x by x in let b = replace-one a by nothing in <a, b>",
+		"let w = with ERROR inject ADAPT in <ERROR, w>",
+		"<1, <2, <3>>>",
+		"let bad = replace by x in <>",
+		"let p = replace <K, *r> by list(*r) in <<K, 1>, p>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sol, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Parsed programs must render to parseable text.
+		if _, err := ParseGround(sol.String()); err != nil {
+			t.Fatalf("program %q printed unparseable text: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package hocl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds of the ASCII HOCL dialect.
+type tokKind int
+
+const (
+	tokEOF   tokKind = iota
+	tokIdent         // identifier: variables, symbols, function names
+	tokInt
+	tokFloat
+	tokString
+	tokLAngle  // <
+	tokRAngle  // >
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokLParen  // (
+	tokRParen  // )
+	tokComma   // ,
+	tokColon   // :
+	tokStar    // *
+	tokAssign  // =
+	tokOp      // == != <= >= && || + - / % !
+	tokKeyword // let in replace replace-one with inject by if rule nothing true false
+)
+
+var keywords = map[string]bool{
+	"let": true, "in": true, "replace": true, "replace-one": true,
+	"with": true, "inject": true, "by": true, "if": true,
+	"rule": true, "nothing": true, "true": true, "false": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("hocl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			lx.advance(2)
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errf("unterminated block comment")
+				}
+				if lx.src[lx.pos] == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance(2)
+					break
+				}
+				lx.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := lx.src[lx.pos]
+
+	switch {
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	case c == '"':
+		return lx.lexString()
+	}
+
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isIdentStart(r) {
+		return lx.lexIdent()
+	}
+
+	// Two-character operators first.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||":
+		tok.kind = tokOp
+		tok.text = two
+		lx.advance(2)
+		return tok, nil
+	}
+
+	switch c {
+	case '<':
+		tok.kind, tok.text = tokLAngle, "<"
+	case '>':
+		tok.kind, tok.text = tokRAngle, ">"
+	case '[':
+		tok.kind, tok.text = tokLBrack, "["
+	case ']':
+		tok.kind, tok.text = tokRBrack, "]"
+	case '(':
+		tok.kind, tok.text = tokLParen, "("
+	case ')':
+		tok.kind, tok.text = tokRParen, ")"
+	case ',':
+		tok.kind, tok.text = tokComma, ","
+	case ':':
+		tok.kind, tok.text = tokColon, ":"
+	case '*':
+		tok.kind, tok.text = tokStar, "*"
+	case '=':
+		tok.kind, tok.text = tokAssign, "="
+	case '+', '-', '/', '%', '!':
+		tok.kind, tok.text = tokOp, string(c)
+	default:
+		return token{}, lx.errf("unexpected character %q", string(c))
+	}
+	lx.advance(1)
+	return tok, nil
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	tok := token{line: lx.line, col: lx.col}
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.advance(1)
+	}
+	isFloat := false
+	if lx.peekByte() == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9' {
+		isFloat = true
+		lx.advance(1)
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.advance(1)
+		}
+	}
+	if b := lx.peekByte(); b == 'e' || b == 'E' {
+		// Exponent part: e[+-]?digits.
+		save := lx.pos
+		lx.advance(1)
+		if b := lx.peekByte(); b == '+' || b == '-' {
+			lx.advance(1)
+		}
+		if b := lx.peekByte(); b >= '0' && b <= '9' {
+			isFloat = true
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.advance(1)
+			}
+		} else {
+			lx.pos = save // not an exponent; restore ("3e" → "3", ident "e")
+		}
+	}
+	tok.text = lx.src[start:lx.pos]
+	if isFloat {
+		tok.kind = tokFloat
+	} else {
+		tok.kind = tokInt
+	}
+	return tok, nil
+}
+
+func (lx *lexer) lexString() (token, error) {
+	tok := token{line: lx.line, col: lx.col}
+	start := lx.pos
+	lx.advance(1) // opening quote
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf("unterminated string literal")
+		}
+		c := lx.src[lx.pos]
+		if c == '\\' {
+			lx.advance(2)
+			continue
+		}
+		if c == '"' {
+			lx.advance(1)
+			break
+		}
+		lx.advance(1)
+	}
+	tok.kind = tokString
+	tok.text = lx.src[start:lx.pos]
+	return tok, nil
+}
+
+func (lx *lexer) lexIdent() (token, error) {
+	tok := token{line: lx.line, col: lx.col}
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		lx.advance(size)
+	}
+	text := lx.src[start:lx.pos]
+	// "replace" may extend to "replace-one".
+	if text == "replace" && strings.HasPrefix(lx.src[lx.pos:], "-one") {
+		lx.advance(4)
+		text = "replace-one"
+	}
+	tok.text = text
+	if keywords[text] {
+		tok.kind = tokKeyword
+	} else {
+		tok.kind = tokIdent
+	}
+	return tok, nil
+}
+
+// unquote decodes a lexed string literal.
+func unquote(lit string) (string, error) {
+	s, err := strconv.Unquote(lit)
+	if err != nil {
+		return "", fmt.Errorf("invalid string literal %s: %w", lit, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,182 @@
+package hocl
+
+import (
+	"testing"
+)
+
+// matchOnce builds a rule from src, matches it against the solution
+// (after reducing sub-solutions to inertness) and returns the match.
+func matchOnce(t *testing.T, ruleSrc string, sol *Solution) *Match {
+	t.Helper()
+	r := MustParseRuleBody("r", ruleSrc, nil)
+	sol.Add(r)
+	if err := NewEngine().reduceNestedOnly(sol); err != nil {
+		t.Fatal(err)
+	}
+	return MatchRule(r, sol, sol.Len()-1, NewFuncs(), nil)
+}
+
+// reduceNestedOnly reduces every nested solution to inertness without
+// firing top-level rules — test scaffolding for matcher-level assertions.
+func (e *Engine) reduceNestedOnly(sol *Solution) error {
+	for _, sub := range nestedSolutions(sol) {
+		if err := e.reduce(sub, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestMatcherBindsTupleKeyAcrossElements(t *testing.T) {
+	// gw_pass-style cross-element non-linear binding: the destination
+	// name found in the first tuple must select the second tuple.
+	sol := NewSolution(
+		Tuple{Ident("T1"), NewSolution(Tuple{Ident("DST"), NewSolution(Ident("T2"))})},
+		Tuple{Ident("T2"), NewSolution(Tuple{Ident("SRC"), NewSolution(Ident("T1"))})},
+		Tuple{Ident("T3"), NewSolution(Tuple{Ident("SRC"), NewSolution(Ident("T9"))})},
+	)
+	m := matchOnce(t, `replace ti:<DST:<tj, *d>>, tj:<SRC:<ti, *s>> by MATCHED`, sol)
+	if m == nil {
+		t.Fatal("no match")
+	}
+	ti, _ := m.Env.Atom("ti")
+	tj, _ := m.Env.Atom("tj")
+	if !ti.Equal(Ident("T1")) || !tj.Equal(Ident("T2")) {
+		t.Errorf("bindings ti=%v tj=%v", ti, tj)
+	}
+}
+
+func TestMatcherBacktracksAcrossWrongCandidates(t *testing.T) {
+	// The first candidate for x (10) cannot complete the match (no
+	// matching partner); the matcher must revisit.
+	sol := NewSolution(
+		Tuple{Ident("A"), Int(10)},
+		Tuple{Ident("A"), Int(3)},
+		Tuple{Ident("B"), Int(3)},
+	)
+	m := matchOnce(t, `replace A:x, B:x by MATCHED`, sol)
+	if m == nil {
+		t.Fatal("no match despite valid assignment")
+	}
+	x, _ := m.Env.Atom("x")
+	if !x.Equal(Int(3)) {
+		t.Errorf("x = %v, want 3", x)
+	}
+}
+
+func TestMatcherRestBindingIsSharedNonLinearly(t *testing.T) {
+	// The same omega name in two solution patterns requires multiset-
+	// equal rests.
+	sol := NewSolution(
+		NewSolution(Ident("K"), Int(1), Int(2)),
+		NewSolution(Ident("K"), Int(2), Int(1)),
+	)
+	if m := matchOnce(t, `replace <K, *w>, <K, *w> by SAME`, sol); m == nil {
+		t.Fatal("equal rests must match non-linear omega")
+	}
+	sol2 := NewSolution(
+		NewSolution(Ident("K"), Int(1)),
+		NewSolution(Ident("K"), Int(2)),
+	)
+	if m := matchOnce(t, `replace <K, *w>, <K, *w> by SAME`, sol2); m != nil {
+		t.Fatal("different rests matched non-linear omega")
+	}
+}
+
+func TestMatcherListPattern(t *testing.T) {
+	sol := NewSolution(List{Int(1), Str("x"), Bool(true)})
+	m := matchOnce(t, `replace [a, b, c] by c, b, a`, sol)
+	if m == nil {
+		t.Fatal("list pattern did not match")
+	}
+	b, _ := m.Env.Atom("b")
+	if !b.Equal(Str("x")) {
+		t.Errorf("b = %v", b)
+	}
+	// Arity must be exact.
+	sol2 := NewSolution(List{Int(1), Int(2)})
+	if m := matchOnce(t, `replace [a, b, c] by a`, sol2); m != nil {
+		t.Fatal("list arity mismatch matched")
+	}
+}
+
+func TestMatcherEmptySolutionPattern(t *testing.T) {
+	empty := NewSolution()
+	sol := NewSolution(Tuple{Ident("SRC"), empty})
+	if m := matchOnce(t, `replace SRC:<> by READY`, sol); m == nil {
+		t.Fatal("SRC:<> did not match empty inert solution")
+	}
+	nonEmpty := NewSolution(Tuple{Ident("SRC"), NewSolution(Ident("T1"))})
+	if m := matchOnce(t, `replace SRC:<> by READY`, nonEmpty); m != nil {
+		t.Fatal("SRC:<> matched non-empty solution")
+	}
+}
+
+func TestMatcherConsumedIndicesAreDistinct(t *testing.T) {
+	sol := NewSolution(Int(5), Int(5))
+	m := matchOnce(t, `replace x, y by PAIR if x == y`, sol)
+	if m == nil {
+		t.Fatal("no match")
+	}
+	if len(m.Consumed) != 2 || m.Consumed[0] == m.Consumed[1] {
+		t.Errorf("consumed = %v", m.Consumed)
+	}
+}
+
+func TestMatcherRuleDoesNotConsumeItself(t *testing.T) {
+	// A one-atom pattern must not match the firing rule's own atom.
+	sol := NewSolution()
+	r := MustParseRuleBody("lonely", "replace x by x, x", nil)
+	sol.Add(r)
+	if m := MatchRule(r, sol, 0, NewFuncs(), nil); m != nil {
+		t.Fatal("rule consumed itself")
+	}
+}
+
+func TestMatcherRuleCanConsumeOtherRules(t *testing.T) {
+	// ...but an unconstrained variable does bind other rule atoms.
+	other := MustParseRuleBody("other", "replace y by y if false", nil)
+	sol := NewSolution(other)
+	m := matchOnce(t, `replace x by CONSUMED`, sol)
+	if m == nil {
+		t.Fatal("variable did not bind a rule atom")
+	}
+	x, _ := m.Env.Atom("x")
+	if _, isRule := x.(*Rule); !isRule {
+		t.Errorf("x = %T, want rule", x)
+	}
+}
+
+func TestMatcherDeepNesting(t *testing.T) {
+	// Three levels of nesting with omegas at two levels.
+	ground := mustParseGround(t, `BOX:<LID:<GEM, 1, 2>, 3>`)
+	sol := NewSolution(ground)
+	m := matchOnce(t, `replace BOX:<LID:<GEM, *inner>, *outer> by list(*inner), list(*outer)`, sol)
+	if m == nil {
+		t.Fatal("deep pattern did not match")
+	}
+	inner, _ := m.Env.Rest("inner")
+	outer, _ := m.Env.Rest("outer")
+	if len(inner) != 2 || len(outer) != 1 {
+		t.Errorf("inner=%v outer=%v", inner, outer)
+	}
+}
+
+func TestMatcherOrderPermutationStillFindsMatch(t *testing.T) {
+	// With an adversarial candidate order the matcher still finds the
+	// only valid pair.
+	sol := NewSolution(Int(1), Int(2), Int(3), Int(4), Int(100), Int(100))
+	r := MustParseRuleBody("pair", "replace x, y by HIT if x == y", nil)
+	sol.Add(r)
+	if err := NewEngine().reduceNestedOnly(sol); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse order.
+	order := make([]int, sol.Len())
+	for i := range order {
+		order[i] = sol.Len() - 1 - i
+	}
+	if m := MatchRule(r, sol, sol.Len()-1, NewFuncs(), order); m == nil {
+		t.Fatal("no match under permuted order")
+	}
+}

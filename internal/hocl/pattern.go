@@ -1,0 +1,379 @@
+package hocl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is the left-hand side of a rule. Patterns match atoms of a
+// solution and bind variables used by the guard and products.
+type Pattern interface {
+	patNode()
+	String() string
+}
+
+// PVar binds a single atom to a lowercase variable name. If the name is
+// already bound (non-linear pattern), the atom must be Equal to the
+// earlier capture.
+type PVar struct{ Name string }
+
+// PConst matches an atom structurally equal to Val (an Ident, number,
+// string or bool constant).
+type PConst struct{ Val Atom }
+
+// PRuleRef matches a rule atom carrying the given name — this is how the
+// paper's clean rule consumes max by naming it (§III-A, higher order).
+type PRuleRef struct{ Name string }
+
+// POmega is the ω variable of the paper: inside a solution pattern it
+// captures every atom not consumed by the other sub-patterns (possibly
+// none). At most one ω may appear per solution pattern.
+type POmega struct{ Name string }
+
+// PTuple matches a Tuple of exactly len(Elems) elements, element-wise.
+type PTuple struct{ Elems []Pattern }
+
+// PList matches a List of exactly len(Elems) elements, element-wise.
+type PList struct{ Elems []Pattern }
+
+// PSolution matches an inert sub-solution: every element pattern consumes
+// a distinct atom, and the remainder binds to Rest (if empty, the
+// remainder must itself be empty). Matching a non-inert sub-solution
+// fails — HOCL only observes finished inner programs.
+type PSolution struct {
+	Elems []Pattern
+	Rest  string // omega variable name, "" for exact match
+}
+
+func (*PVar) patNode()      {}
+func (*PConst) patNode()    {}
+func (*PRuleRef) patNode()  {}
+func (*POmega) patNode()    {}
+func (*PTuple) patNode()    {}
+func (*PList) patNode()     {}
+func (*PSolution) patNode() {}
+
+func (p *PVar) String() string     { return p.Name }
+func (p *PConst) String() string   { return p.Val.String() }
+func (p *PRuleRef) String() string { return p.Name }
+func (p *POmega) String() string   { return "*" + p.Name }
+
+func (p *PTuple) String() string {
+	parts := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		if _, nested := e.(*PTuple); nested {
+			parts[i] = "(" + e.String() + ")"
+		} else {
+			parts[i] = e.String()
+		}
+	}
+	return strings.Join(parts, ":")
+}
+
+func (p *PList) String() string {
+	parts := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (p *PSolution) String() string {
+	parts := make([]string, 0, len(p.Elems)+1)
+	for _, e := range p.Elems {
+		parts = append(parts, e.String())
+	}
+	if p.Rest != "" {
+		parts = append(parts, "*"+p.Rest)
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Match is the result of matching a rule against a solution: the variable
+// binding plus the indices of the consumed top-level atoms.
+type Match struct {
+	Env      *Binding
+	Consumed []int // indices into the solution, ascending
+}
+
+// MatchRule searches sol for atoms satisfying r's pattern and guard. The
+// rule's own atom (at index selfIdx, -1 if not applicable) is excluded
+// from candidates: a rule does not consume itself. Candidates are tried
+// in the order given by order (a permutation of sol indices; nil means
+// natural order), which is how the engine injects chemical
+// non-determinism. Returns nil when no match exists.
+func MatchRule(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *Match {
+	m := &matcher{
+		sol:   sol,
+		used:  make([]bool, sol.Len()),
+		env:   NewBinding(),
+		funcs: funcs,
+		order: order,
+	}
+	if selfIdx >= 0 && selfIdx < sol.Len() {
+		m.used[selfIdx] = true
+	}
+	var consumed []int
+	ok := m.matchSeq(r.Pattern, 0, func() bool {
+		if !EvalGuard(r.Guard, m.env, funcs) {
+			return false
+		}
+		consumed = m.consumedIndices(selfIdx)
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return &Match{Env: m.env, Consumed: consumed}
+}
+
+type matcher struct {
+	sol   *Solution
+	used  []bool
+	env   *Binding
+	funcs *Funcs
+	order []int
+}
+
+func (m *matcher) consumedIndices(selfIdx int) []int {
+	var out []int
+	for i, u := range m.used {
+		if u && i != selfIdx {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// matchSeq matches patterns[k:] against unused atoms of m.sol, invoking
+// cont when every pattern is placed. It backtracks across candidate atoms
+// and across alternative bindings in nested structures. Omega patterns are
+// not allowed at rule top level (they belong to solution patterns); the
+// parser enforces this.
+func (m *matcher) matchSeq(patterns []Pattern, k int, cont func() bool) bool {
+	if k == len(patterns) {
+		return cont()
+	}
+	p := patterns[k]
+	n := m.sol.Len()
+	for oi := 0; oi < n; oi++ {
+		i := oi
+		if m.order != nil {
+			i = m.order[oi]
+		}
+		if m.used[i] {
+			continue
+		}
+		m.used[i] = true
+		ok := m.matchAtom(p, m.sol.At(i), func() bool {
+			return m.matchSeq(patterns, k+1, cont)
+		})
+		if ok {
+			return true
+		}
+		m.used[i] = false
+	}
+	return false
+}
+
+// matchAtom matches a single pattern against a single atom, calling cont
+// on (tentative) success; bindings are rolled back when cont fails, so
+// the caller can try other candidates.
+func (m *matcher) matchAtom(p Pattern, a Atom, cont func() bool) bool {
+	switch pt := p.(type) {
+	case *PVar:
+		if prev, ok := m.env.Atom(pt.Name); ok {
+			if !prev.Equal(a) {
+				return false
+			}
+			return cont()
+		}
+		mark := m.env.mark()
+		m.env.bindAtom(pt.Name, a)
+		if cont() {
+			return true
+		}
+		m.env.undo(mark)
+		return false
+
+	case *PConst:
+		if !pt.Val.Equal(a) {
+			return false
+		}
+		return cont()
+
+	case *PRuleRef:
+		r, ok := a.(*Rule)
+		if !ok || r.Name != pt.Name {
+			return false
+		}
+		return cont()
+
+	case *PTuple:
+		t, ok := a.(Tuple)
+		if !ok || len(t) != len(pt.Elems) {
+			return false
+		}
+		return m.matchFixed(pt.Elems, []Atom(t), 0, cont)
+
+	case *PList:
+		l, ok := a.(List)
+		if !ok || len(l) != len(pt.Elems) {
+			return false
+		}
+		return m.matchFixed(pt.Elems, []Atom(l), 0, cont)
+
+	case *PSolution:
+		sub, ok := a.(*Solution)
+		if !ok {
+			return false
+		}
+		if !sub.Inert() {
+			// HOCL semantics: sub-solutions are matched only once inert.
+			return false
+		}
+		return m.matchSolutionContents(pt, sub, cont)
+
+	case *POmega:
+		// An omega outside a solution pattern would capture "the rest of
+		// the enclosing solution", which HOCL reserves for explicit
+		// sub-solution patterns; the parser rejects it earlier.
+		return false
+
+	default:
+		return false
+	}
+}
+
+// matchFixed matches patterns element-wise against a fixed sequence
+// (tuple or list contents).
+func (m *matcher) matchFixed(pats []Pattern, atoms []Atom, k int, cont func() bool) bool {
+	if k == len(pats) {
+		return cont()
+	}
+	return m.matchAtom(pats[k], atoms[k], func() bool {
+		return m.matchFixed(pats, atoms, k+1, cont)
+	})
+}
+
+// matchSolutionContents matches a solution pattern's element patterns
+// against distinct atoms of sub, binding the leftovers to the omega rest
+// variable (or requiring none when Rest is empty).
+func (m *matcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func() bool) bool {
+	used := make([]bool, sub.Len())
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(pt.Elems) {
+			var rest []Atom
+			for i := 0; i < sub.Len(); i++ {
+				if !used[i] {
+					rest = append(rest, sub.At(i))
+				}
+			}
+			if pt.Rest == "" {
+				if len(rest) != 0 {
+					return false
+				}
+				return cont()
+			}
+			if prev, ok := m.env.Rest(pt.Rest); ok {
+				if !restEqual(prev, rest) {
+					return false
+				}
+				return cont()
+			}
+			mark := m.env.mark()
+			m.env.bindRest(pt.Rest, rest)
+			if cont() {
+				return true
+			}
+			m.env.undo(mark)
+			return false
+		}
+		for i := 0; i < sub.Len(); i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			ok := m.matchAtom(pt.Elems[k], sub.At(i), func() bool {
+				return rec(k + 1)
+			})
+			if ok {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func restEqual(a, b []Atom) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && x.Equal(y) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// PatternToExpr converts a pattern to the expression that rebuilds the
+// matched molecules. It implements the HOCLflow sugar
+// `with X inject M  ≡  replace-one X by X, M` (§III-A), where the
+// left-hand side must be re-emitted verbatim.
+func PatternToExpr(p Pattern) (Expr, error) {
+	switch pt := p.(type) {
+	case *PVar:
+		return &EVar{Name: pt.Name}, nil
+	case *PConst:
+		return &ELit{Val: pt.Val}, nil
+	case *PRuleRef:
+		return nil, fmt.Errorf("hocl: cannot re-emit rule reference %q in with/inject", pt.Name)
+	case *POmega:
+		return &EVar{Name: pt.Name, Omega: true}, nil
+	case *PTuple:
+		elems, err := patternsToExprs(pt.Elems)
+		if err != nil {
+			return nil, err
+		}
+		return &ETuple{Elems: elems}, nil
+	case *PList:
+		elems, err := patternsToExprs(pt.Elems)
+		if err != nil {
+			return nil, err
+		}
+		return &EList{Elems: elems}, nil
+	case *PSolution:
+		elems, err := patternsToExprs(pt.Elems)
+		if err != nil {
+			return nil, err
+		}
+		if pt.Rest != "" {
+			elems = append(elems, &EVar{Name: pt.Rest, Omega: true})
+		}
+		return &ESolution{Elems: elems}, nil
+	default:
+		return nil, fmt.Errorf("hocl: cannot convert pattern %T to expression", p)
+	}
+}
+
+func patternsToExprs(pats []Pattern) ([]Expr, error) {
+	out := make([]Expr, len(pats))
+	for i, p := range pats {
+		e, err := PatternToExpr(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package hocl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genAtom builds a random ground atom of bounded depth — the generator
+// behind the property-based tests.
+func genAtom(r *rand.Rand, depth int) Atom {
+	max := 7
+	if depth <= 0 {
+		max = 4 // leaves only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Int(r.Int63n(2000) - 1000)
+	case 1:
+		return Float(float64(r.Int63n(1000)) / 8.0)
+	case 2:
+		return Str(randName(r, "s"))
+	case 3:
+		if r.Intn(2) == 0 {
+			return Bool(r.Intn(2) == 0)
+		}
+		return Ident(randUpperName(r))
+	case 4:
+		n := 2 + r.Intn(3)
+		t := make(Tuple, n)
+		for i := range t {
+			t[i] = genAtom(r, depth-1)
+		}
+		return t
+	case 5:
+		n := r.Intn(4)
+		l := make(List, n)
+		for i := range l {
+			l[i] = genAtom(r, depth-1)
+		}
+		return l
+	default:
+		n := r.Intn(4)
+		atoms := make([]Atom, n)
+		for i := range atoms {
+			atoms[i] = genAtom(r, depth-1)
+		}
+		return NewSolution(atoms...)
+	}
+}
+
+func randName(r *rand.Rand, prefix string) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return prefix + string(b)
+}
+
+func randUpperName(r *rand.Rand) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// atomBox adapts genAtom to testing/quick's Generator interface.
+type atomBox struct{ A Atom }
+
+func (atomBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(atomBox{A: genAtom(r, 3)})
+}
+
+// Property: printing any ground atom and re-parsing it yields an equal
+// atom. GinFlow ships molecules between agents as text, so this property
+// is load-bearing for the whole middleware.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(b atomBox) bool {
+		back, err := ParseGround(b.A.String())
+		if err != nil {
+			t.Logf("parse error for %q: %v", b.A.String(), err)
+			return false
+		}
+		return b.A.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone is deep — mutating the original solution never changes
+// the clone, and clones are Equal to their source.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(b atomBox) bool {
+		sol := NewSolution(b.A)
+		clone := sol.CloneSolution()
+		if !sol.Equal(clone) {
+			return false
+		}
+		sol.Add(Ident("MUTATION"))
+		return clone.Len() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is reflexive and survives element permutation (multiset
+// semantics).
+func TestQuickSolutionPermutationEqual(t *testing.T) {
+	f := func(b atomBox, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		atoms := make([]Atom, 3+r.Intn(5))
+		for i := range atoms {
+			atoms[i] = genAtom(r, 2)
+		}
+		s1 := NewSolution(atoms...)
+		perm := r.Perm(len(atoms))
+		shuffled := make([]Atom, len(atoms))
+		for i, j := range perm {
+			shuffled[i] = atoms[j]
+		}
+		s2 := NewSolution(shuffled...)
+		return s1.Equal(s1) && s1.Equal(s2) && s2.Equal(s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: getMax computes the maximum of any non-empty random integer
+// multiset, regardless of reaction order, and always terminates with
+// exactly the max plus the catalyst.
+func TestQuickGetMaxCorrect(t *testing.T) {
+	maxRule := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+	f := func(vals []int16, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		want := vals[0]
+		atoms := make([]Atom, len(vals))
+		for i, v := range vals {
+			atoms[i] = Int(v)
+			if v > want {
+				want = v
+			}
+		}
+		sol := NewSolution(append(atoms, maxRule)...)
+		e := NewEngine()
+		e.Rand = rand.New(rand.NewSource(seed))
+		if err := e.Reduce(sol); err != nil {
+			return false
+		}
+		return sol.Len() == 2 && sol.Contains(Int(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reduction firing count for getMax is exactly n-1 (each firing
+// removes one atom): the engine does no redundant work.
+func TestQuickGetMaxStepCount(t *testing.T) {
+	maxRule := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+	f := func(vals []int8) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		atoms := make([]Atom, len(vals))
+		for i, v := range vals {
+			atoms[i] = Int(v)
+		}
+		sol := NewSolution(append(atoms, maxRule)...)
+		e := NewEngine()
+		if err := e.Reduce(sol); err != nil {
+			return false
+		}
+		return e.Steps() == len(vals)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FormatMolecules/ParseMolecules round-trips arbitrary ground
+// molecule lists (the wire format invariant used by the agents).
+func TestQuickWireFormatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		atoms := make([]Atom, r.Intn(5))
+		for i := range atoms {
+			atoms[i] = genAtom(r, 2)
+		}
+		back, err := ParseMolecules(FormatMolecules(atoms))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(atoms) {
+			return false
+		}
+		for i := range atoms {
+			if !atoms[i].Equal(back[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

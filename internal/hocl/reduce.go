@@ -1,0 +1,183 @@
+package hocl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DefaultMaxSteps bounds a single Reduce call; programs that exceed it are
+// assumed divergent. Workflow solutions fire a handful of rules per
+// message, so the bound is generous.
+const DefaultMaxSteps = 1_000_000
+
+// TraceEvent describes one rule firing, for debugging and tests.
+type TraceEvent struct {
+	Rule  *Rule
+	Depth int // nesting depth of the solution the rule fired in
+}
+
+// Engine reduces solutions: it applies rules until no rule can fire
+// anywhere, at which point the solution (and, recursively, every
+// sub-solution) is inert.
+//
+// The zero value is usable: built-in functions only, deterministic
+// left-to-right atom selection, DefaultMaxSteps.
+type Engine struct {
+	// Funcs resolves external function calls; nil falls back to a
+	// built-ins-only registry.
+	Funcs *Funcs
+	// Rand, when non-nil, shuffles candidate order each firing so the
+	// reduction order is chemically non-deterministic (but reproducible
+	// for a fixed seed). Nil keeps natural order.
+	Rand *rand.Rand
+	// MaxSteps bounds the number of rule firings per Reduce (0 means
+	// DefaultMaxSteps).
+	MaxSteps int
+	// Trace, when non-nil, observes every firing.
+	Trace func(TraceEvent)
+
+	steps int
+}
+
+// NewEngine returns an engine with the built-in function registry.
+func NewEngine() *Engine { return &Engine{Funcs: NewFuncs()} }
+
+// ErrDiverged reports that reduction exceeded the step budget.
+type ErrDiverged struct{ Steps int }
+
+func (e *ErrDiverged) Error() string {
+	return fmt.Sprintf("hocl: reduction exceeded %d steps (divergent program?)", e.Steps)
+}
+
+// Reduce rewrites sol until it is inert. It is not safe for concurrent
+// use on the same solution; each service agent owns one engine and one
+// local solution (paper §IV-A), which is exactly how GinFlow avoids
+// coherency problems.
+func (e *Engine) Reduce(sol *Solution) error {
+	e.steps = 0
+	return e.reduce(sol, 0)
+}
+
+// Steps returns the number of rule firings performed by the last Reduce.
+func (e *Engine) Steps() int { return e.steps }
+
+func (e *Engine) funcs() *Funcs {
+	if e.Funcs == nil {
+		e.Funcs = NewFuncs()
+	}
+	return e.Funcs
+}
+
+func (e *Engine) maxSteps() int {
+	if e.MaxSteps > 0 {
+		return e.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+func (e *Engine) reduce(sol *Solution, depth int) error {
+	if sol.Inert() {
+		return nil
+	}
+	for {
+		// Depth-first: inner programs must finish before their results
+		// are observable by outer rules (sub-solution inertness law).
+		// Solutions nested inside tuples and lists (e.g. SRC:<...>) count:
+		// the workflow rules match on their inertness.
+		for _, sub := range nestedSolutions(sol) {
+			if err := e.reduce(sub, depth+1); err != nil {
+				return err
+			}
+		}
+		fired, err := e.fireOne(sol, depth)
+		if err != nil {
+			return err
+		}
+		if !fired {
+			sol.SetInert(true)
+			return nil
+		}
+	}
+}
+
+// fireOne tries every rule in sol and applies the first match found,
+// reporting whether anything fired.
+func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
+	n := sol.Len()
+	ruleOrder := e.perm(n)
+	for _, i := range ruleOrder {
+		r, ok := sol.At(i).(*Rule)
+		if !ok {
+			continue
+		}
+		m := MatchRule(r, sol, i, e.funcs(), e.perm(n))
+		if m == nil {
+			continue
+		}
+		e.steps++
+		if e.steps > e.maxSteps() {
+			return false, &ErrDiverged{Steps: e.maxSteps()}
+		}
+		if err := r.Apply(sol, m, i, e.funcs()); err != nil {
+			return false, err
+		}
+		if e.Trace != nil {
+			e.Trace(TraceEvent{Rule: r, Depth: depth})
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// nestedSolutions returns the solutions reachable from s through tuples
+// and lists without crossing another solution boundary (recursion in
+// reduce handles deeper levels).
+func nestedSolutions(s *Solution) []*Solution {
+	var out []*Solution
+	var walk func(a Atom)
+	walk = func(a Atom) {
+		switch v := a.(type) {
+		case *Solution:
+			out = append(out, v)
+		case Tuple:
+			for _, e := range v {
+				walk(e)
+			}
+		case List:
+			for _, e := range v {
+				walk(e)
+			}
+		}
+	}
+	for _, a := range s.Atoms() {
+		walk(a)
+	}
+	return out
+}
+
+// perm returns the candidate visiting order for n atoms: a fresh random
+// permutation when Rand is set, or nil (natural order) otherwise.
+func (e *Engine) perm(n int) []int {
+	if e.Rand == nil {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	return e.Rand.Perm(n)
+}
+
+// Run parses an HOCL program and reduces it to inertia, returning the
+// final solution. It is the one-call entry point used by the hocl CLI and
+// the examples.
+func (e *Engine) Run(src string) (*Solution, error) {
+	sol, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Reduce(sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}

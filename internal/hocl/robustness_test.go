@@ -1,0 +1,130 @@
+package hocl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics, whatever bytes it is fed — it
+// either parses or returns an error. Agents feed network payloads
+// straight into ParseMolecules, so this is a hardening requirement, not
+// a nicety.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseMolecules(input)
+		_, _ = Parse(input)
+		_, _ = ParseRuleBody("r", input, nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: near-valid inputs (mutations of valid programs) never panic
+// either — plain random strings rarely get past the lexer, so mutate
+// real programs to reach deeper parser states.
+func TestQuickMutatedProgramsNeverPanic(t *testing.T) {
+	programs := []string{
+		`let max = replace x, y by x if x >= y in <2, 3, 5, 8, 9, max>`,
+		`let clean = replace-one <TAG, *w> by *w in <<TAG, 1>, clean>`,
+		`T1:<SRC:<>, DST:<T2, T3>, SRV:"s1", IN:<"input">>`,
+		`(rule r = replace SRC:<>, IN:<*w> by SRC:<>, PAR:list(*w))`,
+		`with T2:<RES:<ERROR>, *o> inject TRIGGER:"a1"`,
+	}
+	mutators := []func(r *rand.Rand, s string) string{
+		func(r *rand.Rand, s string) string { // delete a byte
+			if len(s) == 0 {
+				return s
+			}
+			i := r.Intn(len(s))
+			return s[:i] + s[i+1:]
+		},
+		func(r *rand.Rand, s string) string { // duplicate a byte
+			if len(s) == 0 {
+				return s
+			}
+			i := r.Intn(len(s))
+			return s[:i] + string(s[i]) + s[i:]
+		},
+		func(r *rand.Rand, s string) string { // swap in a metacharacter
+			if len(s) == 0 {
+				return s
+			}
+			meta := "<>[](),:*=\"'"
+			i := r.Intn(len(s))
+			return s[:i] + string(meta[r.Intn(len(meta))]) + s[i+1:]
+		},
+		func(r *rand.Rand, s string) string { // truncate
+			if len(s) == 0 {
+				return s
+			}
+			return s[:r.Intn(len(s))]
+		},
+	}
+	r := rand.New(rand.NewSource(99))
+	for round := 0; round < 3000; round++ {
+		src := programs[r.Intn(len(programs))]
+		for hits := 1 + r.Intn(4); hits > 0; hits-- {
+			src = mutators[r.Intn(len(mutators))](r, src)
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on mutated input %q: %v", src, rec)
+				}
+			}()
+			_, _ = Parse(src)
+			_, _ = ParseMolecules(src)
+		}()
+	}
+}
+
+// Property: whatever parses also reduces without panicking (bounded
+// steps), even if the program is semantically odd.
+func TestQuickParsedProgramsReduceSafely(t *testing.T) {
+	programs := []string{
+		`let r = replace x by x if false in <1, r>`,
+		`let r = replace-one x, y by y, x in <1, 2, r>`,
+		`let a = replace x by x if false in let b = replace-one a by nothing in <a, b>`,
+		`let r = replace <*w> by list(*w) in <<1>, <2, 3>, r>`,
+		`<1, 2.5, "s", TRUEISH, [1, <2>], A:B:C>`,
+	}
+	for _, src := range programs {
+		e := NewEngine()
+		e.MaxSteps = 10000
+		if _, err := e.Run(src); err != nil {
+			// Divergence errors are acceptable; panics are not (they
+			// would have crashed the test).
+			if _, diverged := err.(*ErrDiverged); !diverged {
+				t.Errorf("program %q: %v", src, err)
+			}
+		}
+	}
+}
+
+// TestDeepNestingDoesNotOverflow guards the recursive-descent parser and
+// the recursive reducer against stack abuse from hostile inputs.
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	const depth = 2000
+	src := strings.Repeat("<", depth) + strings.Repeat(">", depth)
+	sol, err := ParseGround(src)
+	if err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+	if err := NewEngine().Reduce(sol.(*Solution)); err != nil {
+		t.Fatal(err)
+	}
+	// And the printer round-trips it.
+	if _, err := ParseGround(sol.String()); err != nil {
+		t.Fatal(err)
+	}
+}

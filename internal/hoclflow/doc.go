@@ -1,0 +1,23 @@
+// Package hoclflow implements HOCLflow, the workflow-specific dialect of
+// HOCL used by GinFlow (paper §III). It defines the reserved workflow
+// atoms (SRC, DST, SRV, IN, PAR, RES, ERROR, ADAPT, TRIGGER, ...), builds
+// task sub-solutions from workflow metadata, and generates the reaction
+// rules that make a workflow description executable:
+//
+//   - the generic enactment rules gw_setup, gw_call and gw_pass of Fig. 4,
+//     in both their centralized form (one interpreter, one global
+//     solution) and their decentralised form (per-agent local rules where
+//     gw_pass splits into gw_send/gw_recv pairs exchanging messages, §IV-A);
+//   - the adaptation rules of Fig. 7 — trigger_adapt, add_dst and mv_src —
+//     generated from an adaptation specification so that a failed
+//     sub-workflow is replaced on-the-fly (§III-C).
+//
+// One deliberate deviation from the paper's Fig. 7 is documented here:
+// the figure's mv_src rule adds the replacement source without removing
+// the faulty one (its accompanying prose says the source is "replaced").
+// Pattern-only removal deadlocks when a faulty source already delivered,
+// so the generated mv_src rule delegates the source-set rewrite to a
+// generated external function (remove faulty sources, add replacement
+// sources) — the same mechanism the paper's Java middleware uses for its
+// distributed trigger_adapt.
+package hoclflow

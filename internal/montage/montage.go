@@ -1,0 +1,203 @@
+// Package montage generates the Montage-like workflow used in the
+// paper's resilience evaluation (§V-D, Fig. 15): 118 tasks building a
+// mosaic of the M45 star cluster from hundreds of astronomical images.
+// The real Montage toolbox is not available offline, so the package
+// substitutes deterministic simulated mosaicking kernels that preserve
+// what the experiment depends on: the DAG shape (a wide 108-task
+// parallel projection stage between short pre/post stages), the
+// task-duration CDF of Fig. 15 (a small share of tasks under 20 s,
+// another small share between 20 and 60 s, and the dominant 60–310 s
+// band), and idempotence ("the services taken from the Montage toolbox
+// are idempotent").
+package montage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/hocl"
+	"ginflow/internal/workflow"
+)
+
+// ParallelWidth is the width of the projection stage (the "…108…" of
+// Fig. 15).
+const ParallelWidth = 108
+
+// TotalTasks is the workflow size reported by the paper.
+const TotalTasks = 118
+
+// Post-stage tasks, in pipeline order, with their modelled durations
+// (model seconds). Together with MHDR and the projection stage they
+// reproduce the CDF bands of Fig. 15:
+//
+//	T < 20   : MHDR, MIMGTBL, MOVERLAPS, MIMGTBL2, MJPEG  (5/118 ≈ 4%)
+//	20<T<60  : MCONCATFIT, MBGMODEL, MBGEXEC, MADD, MSHRINK (5/118 ≈ 4%)
+//	60 < T   : the 108 MPROJECT tasks                       (≈ 92%)
+var postStages = []struct {
+	Name     string
+	Duration float64
+}{
+	{"MIMGTBL", 10},
+	{"MOVERLAPS", 15},
+	{"MCONCATFIT", 25},
+	{"MBGMODEL", 35},
+	{"MBGEXEC", 45},
+	{"MIMGTBL2", 10},
+	{"MADD", 40},
+	{"MSHRINK", 20},
+	{"MJPEG", 6},
+}
+
+// HdrDuration is the modelled duration of the header task.
+const HdrDuration = 10
+
+// projectDuration returns the modelled duration of the i-th (1-based)
+// projection task: a deterministic spread over [60, 290] model seconds —
+// "the durations of the services in the large parallel part of the
+// workflow are quite heterogeneous: from 60s to 310s" (§V-D). The spread
+// is scrambled so neighbouring task indices do not get neighbouring
+// durations.
+func projectDuration(i int) float64 {
+	const lo, span = 62.0, 228.0
+	// 59 is coprime with 108, so i*59 mod 108 is a permutation.
+	slot := (i * 59) % ParallelWidth
+	return lo + span*float64(slot)/float64(ParallelWidth-1)
+}
+
+// ProjectTaskName names the i-th (1-based) projection task.
+func ProjectTaskName(i int) string { return fmt.Sprintf("MPROJECT_%d", i) }
+
+// Workflow builds the 118-task Montage-like DAG:
+//
+//	MHDR -> MPROJECT_1..108 -> MIMGTBL -> MOVERLAPS -> MCONCATFIT ->
+//	MBGMODEL -> MBGEXEC -> MIMGTBL2 -> MADD -> MSHRINK -> MJPEG
+func Workflow() *workflow.Definition {
+	d := &workflow.Definition{Name: "montage-m45"}
+
+	projections := make([]string, ParallelWidth)
+	for i := 1; i <= ParallelWidth; i++ {
+		projections[i-1] = ProjectTaskName(i)
+	}
+	d.Tasks = append(d.Tasks, workflow.Task{
+		ID: "MHDR", Service: serviceName("MHDR"),
+		In: []string{"m45-3deg.hdr"}, Dst: projections,
+	})
+	for i := 1; i <= ParallelWidth; i++ {
+		d.Tasks = append(d.Tasks, workflow.Task{
+			ID:      ProjectTaskName(i),
+			Service: serviceName(ProjectTaskName(i)),
+			Dst:     []string{postStages[0].Name},
+		})
+	}
+	for i, st := range postStages {
+		t := workflow.Task{ID: st.Name, Service: serviceName(st.Name)}
+		if i < len(postStages)-1 {
+			t.Dst = []string{postStages[i+1].Name}
+		}
+		d.Tasks = append(d.Tasks, t)
+	}
+	return d
+}
+
+func serviceName(task string) string { return "montage/" + strings.ToLower(task) }
+
+// Durations returns the modelled duration of every task, keyed by task
+// ID.
+func Durations() map[string]float64 {
+	out := map[string]float64{"MHDR": HdrDuration}
+	for i := 1; i <= ParallelWidth; i++ {
+		out[ProjectTaskName(i)] = projectDuration(i)
+	}
+	for _, st := range postStages {
+		out[st.Name] = st.Duration
+	}
+	return out
+}
+
+// TasksLongerThan returns how many tasks run longer than t model seconds
+// — the paper's N_T, the population at risk under failure delay T.
+func TasksLongerThan(t float64) int {
+	n := 0
+	for _, d := range Durations() {
+		if d > t {
+			n++
+		}
+	}
+	return n
+}
+
+// CriticalPathSeconds returns the sum of durations along the (unique)
+// critical path: MHDR, the slowest projection, and the post chain. The
+// paper measures a 484 s no-failure baseline; the modelled path is close
+// by construction (messaging adds the rest).
+func CriticalPathSeconds() float64 {
+	total := float64(HdrDuration)
+	longest := 0.0
+	for i := 1; i <= ParallelWidth; i++ {
+		if d := projectDuration(i); d > longest {
+			longest = d
+		}
+	}
+	total += longest
+	for _, st := range postStages {
+		total += st.Duration
+	}
+	return total
+}
+
+// RegisterServices registers one deterministic simulated kernel per
+// task: projections emit per-tile plate strings, aggregation stages fold
+// their inputs into a digest, and MJPEG renders the final mosaic
+// description. Every kernel is a pure function of its inputs —
+// idempotent, as recovery requires (§IV-B).
+func RegisterServices(reg *agent.Registry) {
+	reg.RegisterFunc(serviceName("MHDR"), HdrDuration, func(params []hocl.Atom) (hocl.Atom, error) {
+		return hocl.Str("hdr(m45,3deg)"), nil
+	})
+	for i := 1; i <= ParallelWidth; i++ {
+		i := i
+		reg.RegisterFunc(serviceName(ProjectTaskName(i)), projectDuration(i),
+			func(params []hocl.Atom) (hocl.Atom, error) {
+				return hocl.Str(fmt.Sprintf("plate-%03d", i)), nil
+			})
+	}
+	for _, st := range postStages {
+		st := st
+		reg.RegisterFunc(serviceName(st.Name), st.Duration, foldKernel(st.Name))
+	}
+}
+
+// foldKernel builds an aggregation kernel: it folds the (order-
+// insensitive) inputs into a deterministic digest string.
+func foldKernel(stage string) func(params []hocl.Atom) (hocl.Atom, error) {
+	return func(params []hocl.Atom) (hocl.Atom, error) {
+		parts := make([]string, 0, len(params))
+		for _, p := range params {
+			parts = append(parts, p.String())
+		}
+		sort.Strings(parts)
+		return hocl.Str(fmt.Sprintf("%s[%d]", strings.ToLower(stage), len(parts))), nil
+	}
+}
+
+// CDFPoint is one step of the task-duration CDF (Fig. 15, right).
+type CDFPoint struct {
+	Seconds  float64
+	Fraction float64 // of services with duration <= Seconds
+}
+
+// CDF returns the task-duration CDF.
+func CDF() []CDFPoint {
+	durs := make([]float64, 0, TotalTasks)
+	for _, d := range Durations() {
+		durs = append(durs, d)
+	}
+	sort.Float64s(durs)
+	points := make([]CDFPoint, len(durs))
+	for i, d := range durs {
+		points[i] = CDFPoint{Seconds: d, Fraction: float64(i+1) / float64(len(durs))}
+	}
+	return points
+}

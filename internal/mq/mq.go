@@ -1,0 +1,348 @@
+// Package mq provides the messaging middleware service agents coordinate
+// through (paper §IV-A: "the inter-agents communications rely on a
+// message queue middleware which can be either Apache ActiveMQ or
+// Kafka"). Two brokers are implemented:
+//
+//   - QueueBroker stands in for ActiveMQ: in-memory topics, low
+//     per-message latency, no persistence — messages delivered to a dead
+//     consumer are gone.
+//   - LogBroker stands in for Kafka: an append-only log per topic that
+//     survives consumer crashes and can be replayed from the beginning,
+//     which is exactly the ability the paper's §IV-B recovery mechanism
+//     exploits; its per-message latency is higher (the paper measures
+//     roughly 4× slower executions, Fig. 14).
+//
+// Delivery latency is modelled on the cluster clock, so broker choice
+// shapes experiment timings the same way it does in the paper.
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ginflow/internal/cluster"
+)
+
+// Message is one published datum. Payloads are opaque strings — GinFlow
+// ships HOCL molecule text.
+type Message struct {
+	Topic   string
+	Payload string
+	// Offset is the message's position in its topic's log (LogBroker
+	// only; -1 for QueueBroker deliveries).
+	Offset int
+}
+
+// Broker is the pub/sub surface agents use.
+type Broker interface {
+	// Publish sends payload to every current subscriber of topic after
+	// the broker's modelled latency.
+	Publish(topic, payload string) error
+	// Subscribe registers a consumer. Messages published after the
+	// subscription are delivered on C.
+	Subscribe(topic string) (*Subscription, error)
+	// Published returns the total number of messages accepted, an
+	// instrumentation counter for the experiment reports.
+	Published() int64
+	// Close shuts the broker down; subsequent publishes fail.
+	Close() error
+}
+
+// Replayable is the additional capability of log-backed brokers: the
+// persisted history of a topic, used to rebuild a crashed agent's state
+// ("we exploit the ability of Kafka to persist the messages ... and to
+// replay them on demand", §IV-B).
+type Replayable interface {
+	Broker
+	// Log returns a copy of every message ever published to topic, in
+	// publication order.
+	Log(topic string) []Message
+}
+
+// Subscription is one consumer's feed.
+type Subscription struct {
+	ch     chan Message
+	cancel func()
+	once   sync.Once
+}
+
+// C returns the delivery channel. It is never closed; consumers should
+// select against their own shutdown signal.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Cancel detaches the consumer; pending deliveries are dropped, which is
+// how a crashed agent loses its in-flight messages on a queue broker.
+func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
+
+// subscriberBuffer bounds each consumer feed. Publishers block when a
+// consumer falls this far behind (backpressure).
+const subscriberBuffer = 4096
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = fmt.Errorf("mq: broker closed")
+
+// common implements the shared pub/sub core. Each message is delivered
+// after the broker's modelled latency, measured from its publication:
+// deliveries are pipelined (a burst of publishes arrives one latency
+// later, not serialized behind each other) while per-publisher FIFO order
+// is preserved, like an ActiveMQ queue or a Kafka partition. Order
+// preservation matters: agents replace their status in the shared space,
+// so a stale update must never overtake a fresh one.
+type common struct {
+	clock   *cluster.Clock
+	latency float64 // model seconds per message (propagation)
+	svcTime float64 // model seconds of broker occupancy per message
+
+	mu     sync.RWMutex
+	closed bool
+	subs   map[string][]*subscriber
+	nextID int64
+
+	// qmu serialises the broker-occupancy bookkeeping: the broker is a
+	// single shared middleware instance (as in the paper's deployment),
+	// so bursts of messages queue behind each other. nextFree is the
+	// real-time instant the broker finishes its current backlog.
+	qmu      sync.Mutex
+	nextFree time.Time
+
+	published atomic.Int64
+}
+
+type timedMsg struct {
+	msg Message
+	due time.Time // earliest real-time delivery instant
+}
+
+type subscriber struct {
+	id   int64
+	in   chan timedMsg // ordered internal queue
+	ch   chan Message  // consumer-facing feed
+	done chan struct{}
+}
+
+// drain delivers queued messages in order, each no earlier than its due
+// instant. Because due instants are non-decreasing in enqueue order,
+// waiting for the head never delays a message behind a later one.
+func (s *subscriber) drain() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case tm := <-s.in:
+			if d := time.Until(tm.due); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case s.ch <- tm.msg:
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
+func newCommon(clock *cluster.Clock, latency, svcTime float64) *common {
+	return &common{clock: clock, latency: latency, svcTime: svcTime, subs: map[string][]*subscriber{}}
+}
+
+func (c *common) Subscribe(topic string) (*Subscription, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	sub := &subscriber{
+		id:   c.nextID,
+		in:   make(chan timedMsg, subscriberBuffer),
+		ch:   make(chan Message, subscriberBuffer),
+		done: make(chan struct{}),
+	}
+	c.nextID++
+	c.subs[topic] = append(c.subs[topic], sub)
+	go sub.drain()
+	return &Subscription{
+		ch: sub.ch,
+		cancel: func() {
+			close(sub.done)
+			c.removeSub(topic, sub.id)
+		},
+	}, nil
+}
+
+func (c *common) removeSub(topic string, id int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := c.subs[topic]
+	for i, s := range list {
+		if s.id == id {
+			c.subs[topic] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// deliver fans msg out to the topic's current subscribers. The message
+// first queues for the broker (occupying it for svcTime — the throughput
+// bottleneck that makes message-heavy workloads such as the
+// fully-connected diamond pay per message), then propagates for latency.
+// The resulting due instant is monotonically non-decreasing across
+// publishes, so per-subscriber FIFO order is preserved.
+func (c *common) deliver(msg Message) {
+	scale := float64(c.clock.Scale())
+	now := time.Now()
+	c.qmu.Lock()
+	start := now
+	if c.nextFree.After(now) {
+		start = c.nextFree
+	}
+	c.nextFree = start.Add(time.Duration(c.svcTime * scale))
+	due := c.nextFree.Add(time.Duration(c.latency * scale))
+	c.qmu.Unlock()
+
+	c.mu.RLock()
+	targets := append([]*subscriber(nil), c.subs[msg.Topic]...)
+	c.mu.RUnlock()
+	for _, sub := range targets {
+		select {
+		case sub.in <- timedMsg{msg: msg, due: due}:
+		case <-sub.done:
+		}
+	}
+}
+
+// SetServiceTime overrides the per-message broker occupancy (model
+// seconds). Call before any traffic flows; 0 disables queueing.
+func (c *common) SetServiceTime(s float64) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.svcTime = s
+}
+
+func (c *common) Published() int64 { return c.published.Load() }
+
+func (c *common) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *common) checkOpen() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// QueueBroker is the ActiveMQ-like broker: fast, volatile.
+type QueueBroker struct {
+	*common
+}
+
+// DefaultQueueLatency is the modelled per-message latency of the queue
+// broker, in model seconds. Model constants are calibrated so that, at
+// the default clock scale (1 ms of real time per model second), every
+// modelled sleep sits above the host's ~1.2 ms timer granularity; the
+// absolute values are arbitrary, the ratios are what the experiments
+// reproduce.
+const DefaultQueueLatency = 2.0
+
+// DefaultQueueServiceTime is the broker occupancy per message for the
+// queue broker: the throughput term behind Fig. 12(b)'s fully-connected
+// slowdown (hundreds of messages per layer share one middleware).
+const DefaultQueueServiceTime = 0.01
+
+// NewQueueBroker builds a queue broker on the given clock. latency <= 0
+// takes DefaultQueueLatency.
+func NewQueueBroker(clock *cluster.Clock, latency float64) *QueueBroker {
+	if latency <= 0 {
+		latency = DefaultQueueLatency
+	}
+	return &QueueBroker{common: newCommon(clock, latency, DefaultQueueServiceTime)}
+}
+
+// Publish delivers to current subscribers only; nothing is retained.
+func (b *QueueBroker) Publish(topic, payload string) error {
+	if err := b.checkOpen(); err != nil {
+		return err
+	}
+	b.published.Add(1)
+	b.deliver(Message{Topic: topic, Payload: payload, Offset: -1})
+	return nil
+}
+
+// LogBroker is the Kafka-like broker: append-only persisted topics with
+// replay, at a higher per-message cost.
+type LogBroker struct {
+	*common
+	logMu sync.RWMutex
+	logs  map[string][]Message
+}
+
+// DefaultLogLatency is the modelled per-message latency of the log
+// broker: 4× the queue broker, matching the paper's Fig. 14 observation.
+const DefaultLogLatency = 4 * DefaultQueueLatency // 8.0
+
+// DefaultLogServiceTime: persistence costs throughput as well; the 4x
+// per-message ratio carries over (Fig. 14).
+const DefaultLogServiceTime = 4 * DefaultQueueServiceTime // 0.04
+
+// NewLogBroker builds a log broker on the given clock. latency <= 0
+// takes DefaultLogLatency.
+func NewLogBroker(clock *cluster.Clock, latency float64) *LogBroker {
+	if latency <= 0 {
+		latency = DefaultLogLatency
+	}
+	return &LogBroker{common: newCommon(clock, latency, DefaultLogServiceTime), logs: map[string][]Message{}}
+}
+
+// Publish appends to the topic log, then delivers to subscribers.
+func (b *LogBroker) Publish(topic, payload string) error {
+	if err := b.checkOpen(); err != nil {
+		return err
+	}
+	b.published.Add(1)
+	b.logMu.Lock()
+	offset := len(b.logs[topic])
+	msg := Message{Topic: topic, Payload: payload, Offset: offset}
+	b.logs[topic] = append(b.logs[topic], msg)
+	b.logMu.Unlock()
+	b.deliver(msg)
+	return nil
+}
+
+// Log returns a copy of the topic's full history.
+func (b *LogBroker) Log(topic string) []Message {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	return append([]Message(nil), b.logs[topic]...)
+}
+
+var (
+	_ Broker     = (*QueueBroker)(nil)
+	_ Replayable = (*LogBroker)(nil)
+)
+
+// Kind names a broker implementation in configs and CLIs.
+type Kind string
+
+const (
+	KindQueue Kind = "activemq"
+	KindLog   Kind = "kafka"
+)
+
+// NewBroker builds a broker of the given kind with its default latency.
+func NewBroker(kind Kind, clock *cluster.Clock) (Broker, error) {
+	switch kind {
+	case KindQueue:
+		return NewQueueBroker(clock, 0), nil
+	case KindLog:
+		return NewLogBroker(clock, 0), nil
+	default:
+		return nil, fmt.Errorf("mq: unknown broker kind %q (want %q or %q)", kind, KindQueue, KindLog)
+	}
+}

@@ -1,0 +1,260 @@
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ginflow/internal/cluster"
+)
+
+func testClock() *cluster.Clock {
+	// 10 µs per model second keeps latency modelling active but tests fast.
+	return cluster.NewClock(10 * time.Microsecond)
+}
+
+func recvOne(t *testing.T, sub *Subscription) Message {
+	t.Helper()
+	select {
+	case m := <-sub.C():
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return Message{}
+	}
+}
+
+func brokers(t *testing.T) map[string]Broker {
+	return map[string]Broker{
+		"queue": NewQueueBroker(testClock(), 0.001),
+		"log":   NewLogBroker(testClock(), 0.001),
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			sub, err := b.Subscribe("sa.T1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Publish("sa.T1", "RES:<42>"); err != nil {
+				t.Fatal(err)
+			}
+			m := recvOne(t, sub)
+			if m.Payload != "RES:<42>" || m.Topic != "sa.T1" {
+				t.Errorf("got %+v", m)
+			}
+			if b.Published() != 1 {
+				t.Errorf("Published = %d", b.Published())
+			}
+		})
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			s1, _ := b.Subscribe("a")
+			s2, _ := b.Subscribe("b")
+			if err := b.Publish("a", "x"); err != nil {
+				t.Fatal(err)
+			}
+			recvOne(t, s1)
+			select {
+			case m := <-s2.C():
+				t.Errorf("topic b received %+v", m)
+			case <-time.After(50 * time.Millisecond):
+			}
+		})
+	}
+}
+
+func TestFanOutToMultipleSubscribers(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			s1, _ := b.Subscribe("t")
+			s2, _ := b.Subscribe("t")
+			if err := b.Publish("t", "m"); err != nil {
+				t.Fatal(err)
+			}
+			recvOne(t, s1)
+			recvOne(t, s2)
+		})
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			sub, _ := b.Subscribe("t")
+			sub.Cancel()
+			sub.Cancel() // idempotent
+			if err := b.Publish("t", "m"); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case m := <-sub.C():
+				t.Errorf("cancelled subscription received %+v", m)
+			case <-time.After(50 * time.Millisecond):
+			}
+		})
+	}
+}
+
+func TestCloseRejectsPublish(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Publish("t", "m"); err != ErrClosed {
+				t.Errorf("publish after close: %v", err)
+			}
+			if _, err := b.Subscribe("t"); err != ErrClosed {
+				t.Errorf("subscribe after close: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueueBrokerIsVolatile: messages published while nobody listens are
+// lost — the ActiveMQ-mode behaviour that rules out crash recovery.
+func TestQueueBrokerIsVolatile(t *testing.T) {
+	b := NewQueueBroker(testClock(), 0.001)
+	if err := b.Publish("t", "lost"); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := b.Subscribe("t")
+	select {
+	case m := <-sub.C():
+		t.Errorf("late subscriber received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestLogBrokerPersistsAndReplays: the Kafka-mode capability §IV-B
+// recovery relies on.
+func TestLogBrokerPersistsAndReplays(t *testing.T) {
+	b := NewLogBroker(testClock(), 0.001)
+	for i := 0; i < 3; i++ {
+		if err := b.Publish("sa.T1", fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Publish("sa.T2", "other")
+
+	log := b.Log("sa.T1")
+	if len(log) != 3 {
+		t.Fatalf("log has %d messages", len(log))
+	}
+	for i, m := range log {
+		if m.Offset != i {
+			t.Errorf("offset[%d] = %d", i, m.Offset)
+		}
+		if m.Payload != fmt.Sprintf("m%d", i) {
+			t.Errorf("payload[%d] = %q (order must be preserved)", i, m.Payload)
+		}
+	}
+	// Log returns a copy: mutating it must not corrupt the broker.
+	log[0].Payload = "tampered"
+	if b.Log("sa.T1")[0].Payload != "m0" {
+		t.Error("Log exposed internal state")
+	}
+	if got := b.Log("nosuch"); len(got) != 0 {
+		t.Errorf("unknown topic log: %v", got)
+	}
+}
+
+func TestLatencyIsModelled(t *testing.T) {
+	clock := cluster.NewClock(time.Millisecond)
+	b := NewQueueBroker(clock, 20) // 20 model seconds = 20 ms real
+	sub, _ := b.Subscribe("t")
+	start := time.Now()
+	b.Publish("t", "m")
+	recvOne(t, sub)
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~20ms of modelled latency", elapsed)
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	// The Kafka-mode broker must model a higher per-message cost than the
+	// ActiveMQ-mode broker (Fig. 14: ~4x slower executions).
+	if DefaultLogLatency < 3*DefaultQueueLatency {
+		t.Errorf("log latency %v not substantially above queue latency %v",
+			DefaultLogLatency, DefaultQueueLatency)
+	}
+}
+
+func TestNewBrokerKinds(t *testing.T) {
+	clock := testClock()
+	if b, err := NewBroker(KindQueue, clock); err != nil || b == nil {
+		t.Errorf("queue kind: %v", err)
+	}
+	b, err := NewBroker(KindLog, clock)
+	if err != nil {
+		t.Fatalf("log kind: %v", err)
+	}
+	if _, ok := b.(Replayable); !ok {
+		t.Error("kafka-kind broker must be Replayable")
+	}
+	if _, err := NewBroker("rabbitmq", clock); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestConcurrentPublishersAndSubscribers(t *testing.T) {
+	b := NewLogBroker(testClock(), 0.0001)
+	const (
+		topics     = 8
+		publishers = 4
+		perPub     = 50
+	)
+	subs := make([]*Subscription, topics)
+	for i := range subs {
+		s, err := b.Subscribe(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				topic := fmt.Sprintf("t%d", (p+i)%topics)
+				if err := b.Publish(topic, "m"); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	total := 0
+	deadline := time.After(5 * time.Second)
+	for total < publishers*perPub {
+		progressed := false
+		for _, s := range subs {
+			select {
+			case <-s.C():
+				total++
+				progressed = true
+			default:
+			}
+		}
+		if !progressed {
+			select {
+			case <-deadline:
+				t.Fatalf("received %d of %d messages", total, publishers*perPub)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	if got := b.Published(); got != int64(publishers*perPub) {
+		t.Errorf("Published = %d", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package space implements GinFlow's shared space: the multiset holding
+// "the description of the current status of the workflow" (paper §II,
+// §IV-A). Service agents push their local solutions back to the space
+// after reductions; the space routes each update "to the right
+// sub-solution" and lets clients observe progress and completion.
+package space
+
+import (
+	"context"
+	"sync"
+
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+)
+
+// DefaultTopic is the broker topic the space consumes.
+const DefaultTopic = "ginflow.space"
+
+// Space is the shared multiset. It is safe for concurrent use.
+type Space struct {
+	mu        sync.Mutex
+	tasks     map[string]*hocl.Solution // task name -> latest sub-solution
+	markers   []hocl.Atom               // TRIGGER markers and other global molecules
+	changed   chan struct{}
+	updates   int64
+	malformed int
+	sub       *mq.Subscription
+}
+
+// New returns an empty space.
+func New() *Space {
+	return &Space{tasks: map[string]*hocl.Solution{}, changed: make(chan struct{})}
+}
+
+// UpdateTask stores the latest sub-solution pushed by a task's agent.
+func (s *Space) UpdateTask(name string, sub *hocl.Solution) {
+	s.mu.Lock()
+	s.tasks[name] = sub
+	s.bump()
+	s.mu.Unlock()
+}
+
+// AddMarker records a global molecule (e.g. TRIGGER:"id").
+func (s *Space) AddMarker(a hocl.Atom) {
+	s.mu.Lock()
+	s.markers = append(s.markers, a)
+	s.bump()
+	s.mu.Unlock()
+}
+
+// bump signals waiters; callers hold s.mu.
+func (s *Space) bump() {
+	s.updates++
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Updates returns the number of updates applied so far.
+func (s *Space) Updates() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updates
+}
+
+// Status derives the recorded status of a task (StatusIdle when the task
+// has never reported).
+func (s *Space) Status(name string) hoclflow.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.tasks[name]
+	if !ok {
+		return hoclflow.StatusIdle
+	}
+	return hoclflow.StatusOf(sub)
+}
+
+// Results returns the task's recorded RES contents.
+func (s *Space) Results(name string) []hocl.Atom {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.tasks[name]
+	if !ok {
+		return nil
+	}
+	var out []hocl.Atom
+	for _, a := range hoclflow.Results(sub) {
+		out = append(out, a.Clone())
+	}
+	return out
+}
+
+// Markers returns the recorded global molecules.
+func (s *Space) Markers() []hocl.Atom {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]hocl.Atom, len(s.markers))
+	for i, a := range s.markers {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// Triggered returns the adaptation IDs whose TRIGGER markers have been
+// recorded, in arrival order (duplicates collapsed).
+func (s *Space) Triggered() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range s.markers {
+		tp, ok := a.(hocl.Tuple)
+		if !ok || len(tp) != 2 || !tp[0].Equal(hoclflow.KeyTRIGGER) {
+			continue
+		}
+		id, ok := tp[1].(hocl.Str)
+		if !ok || seen[string(id)] {
+			continue
+		}
+		seen[string(id)] = true
+		out = append(out, string(id))
+	}
+	return out
+}
+
+// Snapshot renders the space as a global multiset: task tuples plus
+// markers — the distributed analogue of the centralized global solution.
+func (s *Space) Snapshot() *hocl.Solution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	global := hocl.NewSolution()
+	for name, sub := range s.tasks {
+		global.Add(hocl.Tuple{hocl.Ident(name), sub.CloneSolution()})
+	}
+	for _, m := range s.markers {
+		global.Add(m.Clone())
+	}
+	return global
+}
+
+// waitCh returns the channel closed at the next update.
+func (s *Space) waitCh() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// WaitCompleted blocks until every named task reports StatusCompleted, or
+// the context ends.
+func (s *Space) WaitCompleted(ctx context.Context, names []string) error {
+	for {
+		if s.allCompleted(names) {
+			return nil
+		}
+		ch := s.waitCh()
+		if s.allCompleted(names) { // re-check: update may have raced waitCh
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (s *Space) allCompleted(names []string) bool {
+	for _, n := range names {
+		if s.Status(n) != hoclflow.StatusCompleted {
+			return false
+		}
+	}
+	return true
+}
+
+// Attach subscribes the space to its broker topic. Attaching before any
+// agent starts guarantees no status update is published into the void.
+// Attach is idempotent.
+func (s *Space) Attach(broker mq.Broker, topic string) error {
+	if topic == "" {
+		topic = DefaultTopic
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sub != nil {
+		return nil
+	}
+	sub, err := broker.Subscribe(topic)
+	if err != nil {
+		return err
+	}
+	s.sub = sub
+	return nil
+}
+
+// Serve consumes status messages from the broker topic until the context
+// ends, attaching first if Attach has not been called. Message payloads
+// are HOCL molecule lists: task tuples (Name:<...>) update the task's
+// sub-solution, anything else is recorded as a marker. Malformed
+// payloads are counted and skipped — a resilient space does not die on a
+// corrupt message.
+func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error {
+	if err := s.Attach(broker, topic); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	sub := s.sub
+	s.mu.Unlock()
+	defer sub.Cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case msg := <-sub.C():
+			s.Apply(msg.Payload)
+		}
+	}
+}
+
+// Apply folds one status payload into the space, reporting whether it
+// parsed.
+func (s *Space) Apply(payload string) bool {
+	atoms, err := hocl.ParseMolecules(payload)
+	if err != nil {
+		s.mu.Lock()
+		s.malformed++
+		s.mu.Unlock()
+		return false
+	}
+	for _, a := range atoms {
+		if tp, ok := a.(hocl.Tuple); ok && len(tp) == 2 {
+			if name, ok := tp[0].(hocl.Ident); ok {
+				if sub, ok := tp[1].(*hocl.Solution); ok {
+					s.UpdateTask(string(name), sub)
+					continue
+				}
+			}
+		}
+		s.AddMarker(a)
+	}
+	return true
+}
+
+// Malformed returns the number of undecodable payloads seen.
+func (s *Space) Malformed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.malformed
+}

@@ -1,0 +1,147 @@
+package space
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ginflow/internal/cluster"
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+)
+
+func completedSub(t *testing.T, result string) *hocl.Solution {
+	t.Helper()
+	a, err := hocl.ParseGround(`<SRC:<>, DST:<>, RES:<"` + result + `">>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.(*hocl.Solution)
+}
+
+func TestStatusAndResults(t *testing.T) {
+	s := New()
+	if got := s.Status("T1"); got != hoclflow.StatusIdle {
+		t.Errorf("unknown task status = %v", got)
+	}
+	s.UpdateTask("T1", completedSub(t, "out"))
+	if got := s.Status("T1"); got != hoclflow.StatusCompleted {
+		t.Errorf("status = %v", got)
+	}
+	res := s.Results("T1")
+	if len(res) != 1 || !res[0].Equal(hocl.Str("out")) {
+		t.Errorf("results = %v", res)
+	}
+	if s.Results("T9") != nil {
+		t.Error("unknown task has results")
+	}
+	if s.Updates() != 1 {
+		t.Errorf("updates = %d", s.Updates())
+	}
+}
+
+func TestMarkersAndTriggered(t *testing.T) {
+	s := New()
+	s.AddMarker(hoclflow.TriggerMarker("a1"))
+	s.AddMarker(hoclflow.TriggerMarker("a1")) // duplicate collapses
+	s.AddMarker(hoclflow.TriggerMarker("a2"))
+	s.AddMarker(hocl.Ident("NOISE"))
+	got := s.Triggered()
+	if len(got) != 2 || got[0] != "a1" || got[1] != "a2" {
+		t.Errorf("Triggered = %v", got)
+	}
+	if len(s.Markers()) != 4 {
+		t.Errorf("markers = %v", s.Markers())
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	s := New()
+	s.UpdateTask("T1", completedSub(t, "x"))
+	snap := s.Snapshot()
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Mutating the snapshot must not affect the space.
+	snap.Add(hocl.Ident("JUNK"))
+	if s.Snapshot().Len() != 1 {
+		t.Error("snapshot aliased space state")
+	}
+}
+
+func TestApplyPayloads(t *testing.T) {
+	s := New()
+	if !s.Apply(`T1:<SRC:<>, RES:<"r">>, TRIGGER:"a1"`) {
+		t.Fatal("valid payload rejected")
+	}
+	if got := s.Status("T1"); got != hoclflow.StatusCompleted {
+		t.Errorf("status = %v", got)
+	}
+	if got := s.Triggered(); len(got) != 1 || got[0] != "a1" {
+		t.Errorf("triggered = %v", got)
+	}
+	if s.Apply("<<<garbage") {
+		t.Error("malformed payload accepted")
+	}
+	if s.Malformed() != 1 {
+		t.Errorf("malformed count = %d", s.Malformed())
+	}
+}
+
+func TestWaitCompleted(t *testing.T) {
+	s := New()
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { done <- s.WaitCompleted(ctx, []string{"T1", "T2"}) }()
+
+	s.UpdateTask("T1", completedSub(t, "a"))
+	select {
+	case err := <-done:
+		t.Fatalf("WaitCompleted returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.UpdateTask("T2", completedSub(t, "b"))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitCompleted: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCompleted never returned")
+	}
+}
+
+func TestWaitCompletedHonoursContext(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.WaitCompleted(ctx, []string{"NEVER"}); err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestServeConsumesBrokerTopic(t *testing.T) {
+	clock := cluster.NewClock(10 * time.Microsecond)
+	broker := mq.NewQueueBroker(clock, 0.001)
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Serve(ctx, broker, "")
+
+	// Give Serve a moment to subscribe before publishing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := broker.Publish(DefaultTopic, `T1:<SRC:<>, RES:<"ok">>`); err != nil {
+			t.Fatal(err)
+		}
+		if s.Status("T1") == hoclflow.StatusCompleted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("space never consumed the update")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

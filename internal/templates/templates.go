@@ -1,0 +1,207 @@
+// Package templates provides Tigres-style workflow templates for
+// GinFlow. The paper closes with "GinFlow is currently being integrated
+// inside the Tigres workflow execution environment" (§VII, refs [13],
+// [27]), whose user-centred API builds pipelines from four templates —
+// sequence, parallel, split and merge — that "cover the basic needs of
+// many scientific computational pipelines" (§V). This package implements
+// those combinators on top of the workflow model: compose stages
+// programmatically, then materialise a validated Definition.
+//
+//	b := templates.New("pipeline")
+//	head := b.Task("FETCH", "fetch", "url")
+//	mids := b.Split(head, "proj", 4)        // fan out to 4 parallel tasks
+//	tail := b.Merge(mids, "combine")        // fan in
+//	tail = b.Sequence(tail, "shrink", "publish")
+//	def, err := b.Workflow()
+package templates
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"ginflow/internal/workflow"
+)
+
+// Stage is the set of open task IDs at the tail of the graph built so
+// far: the tasks the next template connects from.
+type Stage []string
+
+// Builder accumulates tasks and edges; it is not safe for concurrent
+// use.
+type Builder struct {
+	name        string
+	tasks       []*workflow.Task
+	byID        map[string]*workflow.Task
+	adaptations []workflow.Adaptation
+	counter     int
+	err         error
+}
+
+// New starts an empty workflow builder.
+func New(name string) *Builder {
+	return &Builder{name: name, byID: map[string]*workflow.Task{}}
+}
+
+var idCleanRE = regexp.MustCompile(`[^A-Za-z0-9_]`)
+
+// autoID derives a fresh valid task ID from a service name.
+func (b *Builder) autoID(service string) string {
+	b.counter++
+	base := strings.ToUpper(idCleanRE.ReplaceAllString(service, "_"))
+	if base == "" || base[0] < 'A' || base[0] > 'Z' {
+		base = "T" + base
+	}
+	return fmt.Sprintf("%s_%d", base, b.counter)
+}
+
+func (b *Builder) fail(format string, args ...any) Stage {
+	if b.err == nil {
+		b.err = fmt.Errorf("templates: "+format, args...)
+	}
+	return nil
+}
+
+// add registers a new task and returns its ID.
+func (b *Builder) add(id, service string, in []string) string {
+	if id == "" {
+		id = b.autoID(service)
+	}
+	if _, dup := b.byID[id]; dup {
+		b.fail("duplicate task id %q", id)
+		return id
+	}
+	t := &workflow.Task{ID: id, Service: service, In: append([]string(nil), in...)}
+	b.tasks = append(b.tasks, t)
+	b.byID[id] = t
+	return id
+}
+
+// connect appends an edge from every task of the stage to dst.
+func (b *Builder) connect(from Stage, dst string) {
+	for _, src := range from {
+		t, ok := b.byID[src]
+		if !ok {
+			b.fail("stage references unknown task %q", src)
+			return
+		}
+		t.Dst = append(t.Dst, dst)
+	}
+}
+
+// Task adds a standalone entry task with explicit ID and initial inputs,
+// returning it as a one-task stage.
+func (b *Builder) Task(id, service string, in ...string) Stage {
+	if b.err != nil {
+		return nil
+	}
+	return Stage{b.add(id, service, in)}
+}
+
+// Sequence chains tasks one after another from the given stage (the
+// Tigres sequence template): every listed service becomes one task, each
+// fed by the previous. A multi-task stage first funnels into the first
+// sequence task.
+func (b *Builder) Sequence(from Stage, services ...string) Stage {
+	if b.err != nil {
+		return nil
+	}
+	if len(services) == 0 {
+		return from
+	}
+	cur := from
+	for _, svc := range services {
+		id := b.add("", svc, nil)
+		b.connect(cur, id)
+		cur = Stage{id}
+	}
+	return cur
+}
+
+// Split fans out from the stage to n parallel tasks running the same
+// service (the Tigres split template). Every task of the incoming stage
+// feeds every branch.
+func (b *Builder) Split(from Stage, service string, n int) Stage {
+	if b.err != nil {
+		return nil
+	}
+	if n < 1 {
+		return b.fail("split needs at least 1 branch, got %d", n)
+	}
+	out := make(Stage, n)
+	for i := 0; i < n; i++ {
+		id := b.add("", service, nil)
+		b.connect(from, id)
+		out[i] = id
+	}
+	return out
+}
+
+// Parallel fans out from the stage to one task per listed service (the
+// Tigres parallel template with heterogeneous branches).
+func (b *Builder) Parallel(from Stage, services ...string) Stage {
+	if b.err != nil {
+		return nil
+	}
+	if len(services) == 0 {
+		return b.fail("parallel needs at least one service")
+	}
+	out := make(Stage, len(services))
+	for i, svc := range services {
+		id := b.add("", svc, nil)
+		b.connect(from, id)
+		out[i] = id
+	}
+	return out
+}
+
+// Merge funnels every task of the stage into a single task (the Tigres
+// merge template).
+func (b *Builder) Merge(from Stage, service string) Stage {
+	if b.err != nil {
+		return nil
+	}
+	if len(from) == 0 {
+		return b.fail("merge needs a non-empty stage")
+	}
+	id := b.add("", service, nil)
+	b.connect(from, id)
+	return Stage{id}
+}
+
+// Join merges multiple stages into one without adding a task: the next
+// template connects from all of them.
+func Join(stages ...Stage) Stage {
+	var out Stage
+	for _, s := range stages {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// WithAdaptation attaches an adaptation to the workflow under
+// construction: should any task of faulty fail, replacement is wired in
+// (see workflow.Adaptation for the validity rules).
+func (b *Builder) WithAdaptation(a workflow.Adaptation) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.adaptations = append(b.adaptations, a)
+	return b
+}
+
+// Workflow materialises and validates the definition.
+func (b *Builder) Workflow() (*workflow.Definition, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	def := &workflow.Definition{Name: b.name}
+	for _, t := range b.tasks {
+		def.Tasks = append(def.Tasks, *t)
+	}
+	def.Adaptations = append(def.Adaptations, b.adaptations...)
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return def, nil
+}

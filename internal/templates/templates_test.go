@@ -1,0 +1,191 @@
+package templates
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/core"
+	"ginflow/internal/executor"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+	"ginflow/internal/workflow"
+)
+
+func TestSequenceTemplate(t *testing.T) {
+	b := New("seq")
+	head := b.Task("HEAD", "fetch", "url")
+	tail := b.Sequence(head, "clean", "publish")
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.TaskCount() != 3 {
+		t.Errorf("tasks = %d", def.TaskCount())
+	}
+	if len(tail) != 1 {
+		t.Errorf("tail = %v", tail)
+	}
+	order, _ := def.TopoOrder()
+	if order[0] != "HEAD" {
+		t.Errorf("order = %v", order)
+	}
+	if got := def.Exits(); len(got) != 1 || got[0] != tail[0] {
+		t.Errorf("exits = %v, tail = %v", got, tail)
+	}
+}
+
+func TestSplitMergeTemplate(t *testing.T) {
+	b := New("diamond")
+	head := b.Task("SPLIT", "split", "input")
+	branches := b.Split(head, "work", 4)
+	tail := b.Merge(branches, "merge")
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.TaskCount() != 6 {
+		t.Errorf("tasks = %d", def.TaskCount())
+	}
+	if len(branches) != 4 {
+		t.Errorf("branches = %v", branches)
+	}
+	if got := def.SrcOf(tail[0]); len(got) != 4 {
+		t.Errorf("merge fan-in = %v", got)
+	}
+	for _, id := range branches {
+		if got := def.SrcOf(id); len(got) != 1 || got[0] != "SPLIT" {
+			t.Errorf("branch %s sources = %v", id, got)
+		}
+	}
+}
+
+func TestParallelAndJoin(t *testing.T) {
+	b := New("hetero")
+	head := b.Task("IN", "fetch", "x")
+	left := b.Parallel(head, "proj")
+	right := b.Parallel(head, "stats")
+	tail := b.Merge(Join(left, right), "combine")
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := def.SrcOf(tail[0]); len(got) != 2 {
+		t.Errorf("combine fan-in = %v", got)
+	}
+}
+
+func TestAutoIDsAreValidAndUnique(t *testing.T) {
+	b := New("ids")
+	head := b.Task("H", "svc", "x")
+	stage := b.Split(head, "montage/mproject-2mass", 5) // hostile service name
+	b.Merge(stage, "9starts-with-digit")
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, task := range def.Tasks {
+		if !hoclflow.ValidTaskName(task.ID) {
+			t.Errorf("generated id %q invalid", task.ID)
+		}
+		if seen[task.ID] {
+			t.Errorf("duplicate id %q", task.ID)
+		}
+		seen[task.ID] = true
+	}
+}
+
+func TestBuilderErrorsPropagate(t *testing.T) {
+	cases := []func(*Builder){
+		func(b *Builder) { b.Task("X", "s"); b.Task("X", "s") },     // duplicate id
+		func(b *Builder) { b.Split(Stage{"NOPE"}, "s", 2) },         // unknown stage
+		func(b *Builder) { b.Split(b.Task("A", "s", "i"), "s", 0) }, // zero branches
+		func(b *Builder) { b.Merge(nil, "s") },                      // empty merge
+		func(b *Builder) { b.Parallel(b.Task("A", "s", "i")) },      // no services
+		func(b *Builder) { b.Task("lower", "s") },                   // invalid explicit id
+	}
+	for i, mutate := range cases {
+		b := New("bad")
+		mutate(b)
+		if _, err := b.Workflow(); err == nil {
+			t.Errorf("case %d: Workflow succeeded, want error", i)
+		}
+	}
+}
+
+func TestErrorShortCircuitsLaterCalls(t *testing.T) {
+	b := New("bad")
+	b.Merge(nil, "s") // first error
+	stage := b.Task("A", "s", "x")
+	if stage != nil {
+		t.Error("calls after an error must return nil stages")
+	}
+	_, err := b.Workflow()
+	if err == nil || !strings.Contains(err.Error(), "merge") {
+		t.Errorf("first error must win: %v", err)
+	}
+}
+
+func TestSequenceOnEmptyServiceListIsIdentity(t *testing.T) {
+	b := New("id")
+	head := b.Task("A", "s", "x")
+	same := b.Sequence(head)
+	if len(same) != 1 || same[0] != "A" {
+		t.Errorf("identity sequence = %v", same)
+	}
+}
+
+func TestWithAdaptation(t *testing.T) {
+	b := New("adaptive")
+	head := b.Task("T1", "s1", "in")
+	mid := b.Sequence(head, "s2")
+	last := b.Sequence(mid, "s3")
+	b.WithAdaptation(workflow.Adaptation{
+		ID:     "alt",
+		Faulty: []string{mid[0]},
+		Replacement: []workflow.ReplacementTask{{
+			ID: "ALT", Service: "s2alt", Src: []string{"T1"}, Dst: []string{last[0]},
+		}},
+	})
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Adaptations) != 1 {
+		t.Fatalf("adaptations = %d", len(def.Adaptations))
+	}
+}
+
+// TestTemplatePipelineRunsEndToEnd executes a template-built pipeline on
+// the decentralised engine.
+func TestTemplatePipelineRunsEndToEnd(t *testing.T) {
+	b := New("tigres-demo")
+	head := b.Task("FETCH", "fetch", "survey")
+	mids := b.Split(head, "proj", 3)
+	tail := b.Merge(mids, "combine")
+	tail = b.Sequence(tail, "publish")
+	def, err := b.Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	services := agent.NewRegistry()
+	services.RegisterNoop(0.1, "fetch", "proj", "combine", "publish")
+	rep, err := core.Run(context.Background(), def, services, core.Config{
+		Executor: executor.KindSSH,
+		Broker:   mq.KindQueue,
+		Cluster:  cluster.Config{Nodes: 3, Scale: 50 * time.Microsecond},
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := tail[0]
+	if rep.Statuses[exit] != hoclflow.StatusCompleted {
+		t.Errorf("exit %s = %v", exit, rep.Statuses[exit])
+	}
+}

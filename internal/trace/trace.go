@@ -1,0 +1,186 @@
+// Package trace records the observable events of a workflow enactment —
+// agent lifecycle, service invocations, result transfers, adaptation
+// triggers, crashes and recoveries — on the model-time axis. A Recorder
+// is optional instrumentation: the engine attaches one when asked
+// (core.Config.CollectTrace) and returns the collected timeline in the
+// run report, where tests and the CLI can assert on or display it.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds, in rough lifecycle order.
+const (
+	AgentStarted     Kind = "agent-started"
+	ServiceInvoked   Kind = "service-invoked"
+	ServiceCompleted Kind = "service-completed"
+	ServiceErrored   Kind = "service-errored" // ERROR result (adaptation fuel)
+	ResultSent       Kind = "result-sent"
+	AdaptTriggered   Kind = "adapt-triggered"
+	AgentCrashed     Kind = "agent-crashed"
+	AgentRecovered   Kind = "agent-recovered"
+	TaskCompleted    Kind = "task-completed"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	// At is the model-time instant of the event.
+	At float64
+	// Kind classifies the event.
+	Kind Kind
+	// Task is the task whose agent emitted the event.
+	Task string
+	// Incarnation is the agent incarnation (0 for the first launch).
+	Incarnation int
+	// Info carries event-specific detail (service name, destination,
+	// adaptation id, ...).
+	Info string
+}
+
+func (e Event) String() string {
+	if e.Info != "" {
+		return fmt.Sprintf("%10.2fs  %-18s %-12s #%d  %s", e.At, e.Kind, e.Task, e.Incarnation, e.Info)
+	}
+	return fmt.Sprintf("%10.2fs  %-18s %-12s #%d", e.At, e.Kind, e.Task, e.Incarnation)
+}
+
+// Clock supplies model time; cluster.Clock satisfies it.
+type Clock interface {
+	Now() float64
+}
+
+// Recorder collects events. It is safe for concurrent use; a nil
+// Recorder ignores all records, so instrumentation sites need no guards.
+type Recorder struct {
+	clock Clock
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns a recorder stamping events with the given clock.
+func NewRecorder(clock Clock) *Recorder {
+	return &Recorder{clock: clock}
+}
+
+// Record appends an event at the current model time.
+func (r *Recorder) Record(kind Kind, task string, incarnation int, info string) {
+	if r == nil {
+		return
+	}
+	at := 0.0
+	if r.clock != nil {
+		at = r.clock.Now()
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		At: at, Kind: kind, Task: task, Incarnation: incarnation, Info: info,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the timeline, sorted by model time (record
+// order breaks ties).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Filter returns the events of one kind, in time order.
+func (r *Recorder) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForTask returns the events of one task, in time order.
+func (r *Recorder) ForTask(task string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Task == task {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of a kind.
+func (r *Recorder) Count(kind Kind) int {
+	return len(r.Filter(kind))
+}
+
+// Len returns the total number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteTimeline renders the timeline to w, one event per line.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Spans derives per-task busy intervals (service-invoked to
+// service-completed/errored pairs, matched per incarnation) — the raw
+// material of a Gantt view.
+type Span struct {
+	Task        string
+	Incarnation int
+	Start, End  float64
+	Err         bool // ended in ERROR
+}
+
+// Spans returns completed service spans in start order. Invocations cut
+// short by a crash produce no span (their end never happened).
+func (r *Recorder) Spans() []Span {
+	type key struct {
+		task string
+		inc  int
+	}
+	open := map[key]float64{}
+	var spans []Span
+	for _, e := range r.Events() {
+		k := key{e.Task, e.Incarnation}
+		switch e.Kind {
+		case ServiceInvoked:
+			open[k] = e.At
+		case ServiceCompleted, ServiceErrored:
+			if start, ok := open[k]; ok {
+				spans = append(spans, Span{
+					Task: e.Task, Incarnation: e.Incarnation,
+					Start: start, End: e.At,
+					Err: e.Kind == ServiceErrored,
+				})
+				delete(open, k)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
+}

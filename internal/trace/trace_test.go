@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is a settable model clock.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(AgentStarted, "T1", 0, "") // must not panic
+	if r.Events() != nil {
+		t.Error("nil recorder has events")
+	}
+	if r.Len() != 0 {
+		t.Error("nil recorder non-empty")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	clock := &fakeClock{}
+	r := NewRecorder(clock)
+
+	clock.t = 1
+	r.Record(AgentStarted, "T1", 0, "")
+	clock.t = 2
+	r.Record(ServiceInvoked, "T1", 0, "s1")
+	clock.t = 5
+	r.Record(ServiceCompleted, "T1", 0, "s1")
+	clock.t = 6
+	r.Record(ResultSent, "T1", 0, "T2")
+	clock.t = 7
+	r.Record(TaskCompleted, "T2", 0, "")
+
+	if r.Len() != 5 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order: %v", events)
+		}
+	}
+	if got := r.Filter(ServiceInvoked); len(got) != 1 || got[0].Info != "s1" {
+		t.Errorf("Filter = %v", got)
+	}
+	if got := r.ForTask("T1"); len(got) != 4 {
+		t.Errorf("ForTask(T1) = %v", got)
+	}
+	if r.Count(TaskCompleted) != 1 {
+		t.Errorf("Count = %d", r.Count(TaskCompleted))
+	}
+}
+
+func TestSpans(t *testing.T) {
+	clock := &fakeClock{}
+	r := NewRecorder(clock)
+
+	// Incarnation 0 invokes at t=1 and crashes (no completion).
+	clock.t = 1
+	r.Record(ServiceInvoked, "T1", 0, "s")
+	clock.t = 2
+	r.Record(AgentCrashed, "T1", 0, "s")
+	// Incarnation 1 replays: invokes at t=4, completes at t=9.
+	clock.t = 4
+	r.Record(ServiceInvoked, "T1", 1, "s")
+	clock.t = 9
+	r.Record(ServiceCompleted, "T1", 1, "s")
+	// Another task errors.
+	clock.t = 5
+	r.Record(ServiceInvoked, "T2", 0, "flaky")
+	clock.t = 6
+	r.Record(ServiceErrored, "T2", 0, "flaky")
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Task != "T1" || spans[0].Start != 4 || spans[0].End != 9 || spans[0].Err {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[1].Task != "T2" || !spans[1].Err {
+		t.Errorf("span[1] = %+v", spans[1])
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	clock := &fakeClock{t: 3.5}
+	r := NewRecorder(clock)
+	r.Record(AgentStarted, "T1", 2, "detail")
+	var b strings.Builder
+	if err := r.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"3.50s", "agent-started", "T1", "#2", "detail"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("timeline %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(&fakeClock{})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				r.Record(ResultSent, "T", 0, "x")
+				_ = r.Events()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if r.Len() != 8*200 {
+		t.Errorf("len = %d", r.Len())
+	}
+}

@@ -1,0 +1,144 @@
+package workflow
+
+import (
+	"fmt"
+)
+
+// DiamondSpec parameterises the paper's evaluation workload (Fig. 11): a
+// split task fanning out to a mesh of H columns × V rows, funnelling into
+// a merge task. Fully connected meshes link every task of a row to every
+// task of the next row; simple meshes keep columns independent.
+type DiamondSpec struct {
+	H, V           int
+	FullyConnected bool
+	// Service names; all tasks of the mesh share MeshService (the paper's
+	// tasks "only simulate a simple script with a very low constant
+	// execution time").
+	SplitService, MeshService, MergeService string
+	// Input is the initial input handed to the split task.
+	Input string
+}
+
+// DefaultDiamondSpec returns the spec used by the benchmarks: h×v mesh,
+// shared "noop" services.
+func DefaultDiamondSpec(h, v int, fully bool) DiamondSpec {
+	return DiamondSpec{
+		H: h, V: v, FullyConnected: fully,
+		SplitService: "split", MeshService: "work", MergeService: "merge",
+		Input: "input",
+	}
+}
+
+// MeshTaskName names the mesh task at column c (1-based), row r (1-based).
+func MeshTaskName(c, r int) string { return fmt.Sprintf("N%d_%d", c, r) }
+
+// DiamondSplitName and DiamondMergeName are the fan-out/fan-in task names.
+const (
+	DiamondSplitName = "SPLIT"
+	DiamondMergeName = "MERGE"
+)
+
+// Diamond builds the workflow of Fig. 11. Task count is h*v + 2.
+func Diamond(spec DiamondSpec) *Definition {
+	h, v := spec.H, spec.V
+	d := &Definition{Name: fmt.Sprintf("diamond-%dx%d", h, v)}
+
+	firstRow := make([]string, h)
+	for c := 1; c <= h; c++ {
+		firstRow[c-1] = MeshTaskName(c, 1)
+	}
+	d.Tasks = append(d.Tasks, Task{
+		ID: DiamondSplitName, Service: spec.SplitService,
+		In: []string{spec.Input}, Dst: firstRow,
+	})
+
+	for r := 1; r <= v; r++ {
+		for c := 1; c <= h; c++ {
+			var dst []string
+			switch {
+			case r == v:
+				dst = []string{DiamondMergeName}
+			case spec.FullyConnected:
+				dst = make([]string, h)
+				for k := 1; k <= h; k++ {
+					dst[k-1] = MeshTaskName(k, r+1)
+				}
+			default:
+				dst = []string{MeshTaskName(c, r+1)}
+			}
+			d.Tasks = append(d.Tasks, Task{
+				ID: MeshTaskName(c, r), Service: spec.MeshService, Dst: dst,
+			})
+		}
+	}
+
+	d.Tasks = append(d.Tasks, Task{ID: DiamondMergeName, Service: spec.MergeService})
+	return d
+}
+
+// ReplacementMeshName names the replacement mesh task at column c, row r.
+func ReplacementMeshName(c, r int) string { return fmt.Sprintf("R%d_%d", c, r) }
+
+// WithBodyReplacement extends a diamond with the adaptation used in the
+// paper's §V-B experiment: the whole mesh body is declared potentially
+// faulty and replaced on-the-fly by a fresh mesh (simple or fully
+// connected, per scenario). The trigger fires when any mesh service
+// errors; the experiment raises the exception on the last service of the
+// mesh.
+func WithBodyReplacement(d *Definition, spec DiamondSpec, replacementFully bool, replacementService string) *Definition {
+	h, v := spec.H, spec.V
+	a := Adaptation{ID: "bodyswap"}
+	for r := 1; r <= v; r++ {
+		for c := 1; c <= h; c++ {
+			a.Faulty = append(a.Faulty, MeshTaskName(c, r))
+		}
+	}
+	for r := 1; r <= v; r++ {
+		for c := 1; c <= h; c++ {
+			rt := ReplacementTask{
+				ID:      ReplacementMeshName(c, r),
+				Service: replacementService,
+			}
+			if r == 1 {
+				rt.Src = []string{DiamondSplitName}
+			}
+			switch {
+			case r == v:
+				rt.Dst = []string{DiamondMergeName}
+			case replacementFully:
+				rt.Dst = make([]string, h)
+				for k := 1; k <= h; k++ {
+					rt.Dst[k-1] = ReplacementMeshName(k, r+1)
+				}
+			default:
+				rt.Dst = []string{ReplacementMeshName(c, r+1)}
+			}
+			a.Replacement = append(a.Replacement, rt)
+		}
+	}
+	d.Adaptations = append(d.Adaptations, a)
+	return d
+}
+
+// LastMeshTask returns the mesh task the §V-B experiment makes fail: the
+// last service of the mesh (column h, row v).
+func LastMeshTask(spec DiamondSpec) string {
+	return MeshTaskName(spec.H, spec.V)
+}
+
+// Sequence builds a simple linear workflow T1 -> T2 -> ... -> Tn, one of
+// the four basic patterns of §V ("split, merge, sequence and parallel").
+func Sequence(n int, service, input string) *Definition {
+	d := &Definition{Name: fmt.Sprintf("sequence-%d", n)}
+	for i := 1; i <= n; i++ {
+		t := Task{ID: fmt.Sprintf("S%d", i), Service: service}
+		if i == 1 {
+			t.In = []string{input}
+		}
+		if i < n {
+			t.Dst = []string{fmt.Sprintf("S%d", i+1)}
+		}
+		d.Tasks = append(d.Tasks, t)
+	}
+	return d
+}

@@ -1,0 +1,76 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ginflow/internal/hocl"
+)
+
+// DOT renders the workflow as a Graphviz digraph: main tasks as solid
+// nodes and edges, each adaptation's replacement sub-workflow as a
+// dashed cluster with dashed rewiring edges — mirroring the visual
+// language of the paper's Figs. 5 and 9.
+func (d *Definition) DOT() string {
+	var b strings.Builder
+	name := d.Name
+	if name == "" {
+		name = "workflow"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=rounded];\n")
+
+	for _, t := range d.Tasks {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s\"];\n", t.ID, t.ID, t.Service)
+	}
+	for _, t := range d.Tasks {
+		dsts := append([]string(nil), t.Dst...)
+		sort.Strings(dsts)
+		for _, dst := range dsts {
+			fmt.Fprintf(&b, "  %q -> %q;\n", t.ID, dst)
+		}
+	}
+
+	for i := range d.Adaptations {
+		a := &d.Adaptations[i]
+		srcOf, dstOf := a.wiring()
+		fmt.Fprintf(&b, "  subgraph \"cluster_%s\" {\n", a.ID)
+		fmt.Fprintf(&b, "    label=\"adaptation %s (replaces %s)\";\n",
+			a.ID, strings.Join(a.Faulty, ", "))
+		b.WriteString("    style=dashed;\n")
+		for _, r := range a.Replacement {
+			fmt.Fprintf(&b, "    %q [label=\"%s\\n%s\", style=\"rounded,dashed\"];\n",
+				r.ID, r.ID, r.Service)
+		}
+		b.WriteString("  }\n")
+		for _, r := range a.Replacement {
+			for _, src := range srcOf[r.ID] {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed];\n", src, r.ID)
+			}
+			for _, dst := range dstOf[r.ID] {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed];\n", r.ID, dst)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// HOCLSource renders the centralized HOCL translation of the workflow as
+// pretty-printed, parseable program text — the internal representation
+// the paper shows in Figs. 3 and 8, exposed for inspection ("the HOCL
+// workflow description is internal to GinFlow", §III-B, but seeing it is
+// the best way to understand an enactment).
+func (d *Definition) HOCLSource() (string, error) {
+	prog, err := d.TranslateCentral()
+	if err != nil {
+		return "", err
+	}
+	return prettySource(prog), nil
+}
+
+// prettySource renders the global solution in parseable HOCL syntax.
+func prettySource(prog *CentralProgram) string {
+	return hocl.Pretty(prog.Global)
+}

@@ -1,0 +1,440 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+)
+
+func paperDiamond() *Definition {
+	return &Definition{
+		Name: "paper-fig3",
+		Tasks: []Task{
+			{ID: "T1", Service: "s1", In: []string{"input"}, Dst: []string{"T2", "T3"}},
+			{ID: "T2", Service: "s2", Dst: []string{"T4"}},
+			{ID: "T3", Service: "s3", Dst: []string{"T4"}},
+			{ID: "T4", Service: "s4"},
+		},
+	}
+}
+
+func paperAdaptiveDiamond() *Definition {
+	d := paperDiamond()
+	d.Adaptations = []Adaptation{{
+		ID:     "a1",
+		Faulty: []string{"T2"},
+		Replacement: []ReplacementTask{
+			{ID: "T2'", Service: "s2alt", Src: []string{"T1"}, Dst: []string{"T4"}},
+		},
+	}}
+	return d
+}
+
+func TestValidateAcceptsPaperWorkflows(t *testing.T) {
+	if err := paperDiamond().Validate(); err != nil {
+		t.Errorf("plain diamond: %v", err)
+	}
+	if err := paperAdaptiveDiamond().Validate(); err != nil {
+		t.Errorf("adaptive diamond: %v", err)
+	}
+}
+
+func TestDerivedTopology(t *testing.T) {
+	d := paperDiamond()
+	if got := d.SrcOf("T4"); len(got) != 2 || got[0] != "T2" || got[1] != "T3" {
+		t.Errorf("SrcOf(T4) = %v", got)
+	}
+	if got := d.SrcOf("T1"); len(got) != 0 {
+		t.Errorf("SrcOf(T1) = %v", got)
+	}
+	if got := d.Entries(); len(got) != 1 || got[0] != "T1" {
+		t.Errorf("Entries = %v", got)
+	}
+	if got := d.Exits(); len(got) != 1 || got[0] != "T4" {
+		t.Errorf("Exits = %v", got)
+	}
+	if got := d.EdgeCount(); got != 4 {
+		t.Errorf("EdgeCount = %d", got)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, task := range d.Tasks {
+		for _, dst := range task.Dst {
+			if pos[task.ID] >= pos[dst] {
+				t.Errorf("topo order violates edge %s -> %s: %v", task.ID, dst, order)
+			}
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		def  *Definition
+		frag string
+	}{
+		{"empty", &Definition{}, "no tasks"},
+		{"badID", &Definition{Tasks: []Task{{ID: "t1", Service: "s"}}}, "valid HOCL symbol"},
+		{"dupID", &Definition{Tasks: []Task{{ID: "T1", Service: "s"}, {ID: "T1", Service: "s"}}}, "duplicate"},
+		{"noService", &Definition{Tasks: []Task{{ID: "T1"}}}, "no service"},
+		{"unknownDst", &Definition{Tasks: []Task{{ID: "T1", Service: "s", Dst: []string{"T9"}}}}, "unknown destination"},
+		{"selfLoop", &Definition{Tasks: []Task{{ID: "T1", Service: "s", Dst: []string{"T1"}}}}, "itself"},
+		{"dupEdge", &Definition{Tasks: []Task{
+			{ID: "T1", Service: "s", Dst: []string{"T2", "T2"}},
+			{ID: "T2", Service: "s"},
+		}}, "twice"},
+		{"cycle", &Definition{Tasks: []Task{
+			{ID: "T1", Service: "s", Dst: []string{"T2"}},
+			{ID: "T2", Service: "s", Dst: []string{"T1"}},
+		}}, "cycle"},
+	}
+	for _, c := range cases {
+		err := c.def.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate succeeded, want error containing %q", c.name, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestValidateAdaptationRejections(t *testing.T) {
+	base := func() *Definition { return paperAdaptiveDiamond() }
+
+	mutate := []struct {
+		name string
+		mut  func(*Definition)
+		frag string
+	}{
+		{"noID", func(d *Definition) { d.Adaptations[0].ID = "" }, "no id"},
+		{"noFaulty", func(d *Definition) { d.Adaptations[0].Faulty = nil }, "no faulty"},
+		{"noReplacement", func(d *Definition) { d.Adaptations[0].Replacement = nil }, "no replacement"},
+		{"unknownFaulty", func(d *Definition) { d.Adaptations[0].Faulty = []string{"T9"} }, "unknown faulty"},
+		{"entryFaulty", func(d *Definition) { d.Adaptations[0].Faulty = []string{"T1"} }, "entry"},
+		{"collidingReplacement", func(d *Definition) { d.Adaptations[0].Replacement[0].ID = "T3" }, "collides"},
+		{"badReplacementID", func(d *Definition) { d.Adaptations[0].Replacement[0].ID = "x" }, "valid HOCL symbol"},
+		{"replacementNoService", func(d *Definition) { d.Adaptations[0].Replacement[0].Service = "" }, "no service"},
+		{"fromFaulty", func(d *Definition) { d.Adaptations[0].Replacement[0].Src = []string{"T2"} }, "faulty task"},
+		{"unknownSource", func(d *Definition) { d.Adaptations[0].Replacement[0].Src = []string{"T9"} }, "unknown source"},
+		{"wrongDest", func(d *Definition) { d.Adaptations[0].Replacement[0].Dst = []string{"T3"} }, "destination"},
+		{"neverReaches", func(d *Definition) { d.Adaptations[0].Replacement[0].Dst = nil }, "never reaches"},
+		{"dupAdaptID", func(d *Definition) {
+			d.Adaptations = append(d.Adaptations, d.Adaptations[0])
+		}, "duplicate adaptation id"},
+	}
+	for _, c := range mutate {
+		d := base()
+		c.mut(d)
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate succeeded, want error containing %q", c.name, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestOverlappingAdaptationsRejected(t *testing.T) {
+	d := paperAdaptiveDiamond()
+	d.Adaptations = append(d.Adaptations, Adaptation{
+		ID:     "a2",
+		Faulty: []string{"T2"}, // overlaps a1
+		Replacement: []ReplacementTask{
+			{ID: "T2c", Service: "alt", Src: []string{"T1"}, Dst: []string{"T4"}},
+		},
+	})
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "disjoint") {
+		t.Errorf("overlapping adaptations: %v", err)
+	}
+}
+
+// TestMultipleOutgoingDestinationsRejected encodes paper Fig. 9(c): a
+// faulty sub-workflow feeding two distinct destinations cannot be
+// adapted.
+func TestMultipleOutgoingDestinationsRejected(t *testing.T) {
+	d := &Definition{Tasks: []Task{
+		{ID: "T1", Service: "s", In: []string{"x"}, Dst: []string{"F"}},
+		{ID: "F", Service: "s", Dst: []string{"D1", "D2"}},
+		{ID: "D1", Service: "s"},
+		{ID: "D2", Service: "s"},
+	}}
+	d.Adaptations = []Adaptation{{
+		ID: "a", Faulty: []string{"F"},
+		Replacement: []ReplacementTask{{ID: "R", Service: "s", Src: []string{"T1"}, Dst: []string{"D1"}}},
+	}}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "exactly one destination") {
+		t.Errorf("Fig 9(c) case: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := paperAdaptiveDiamond()
+	data, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || len(back.Tasks) != len(d.Tasks) ||
+		len(back.Adaptations) != len(d.Adaptations) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestFromJSONRejects(t *testing.T) {
+	cases := []string{
+		`{`,                         // syntax
+		`{"tasks": []}`,             // empty workflow
+		`{"tasks": [{"id": "T1"}]}`, // no service
+		`{"tasks": [{"id": "T1", "service": "s", "bogus": 1}]}`, // unknown field
+	}
+	for _, src := range cases {
+		if _, err := FromJSON([]byte(src)); err == nil {
+			t.Errorf("FromJSON(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDiamondGenerator(t *testing.T) {
+	for _, fully := range []bool{false, true} {
+		spec := DefaultDiamondSpec(3, 4, fully)
+		d := Diamond(spec)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("fully=%v: %v", fully, err)
+		}
+		if got := d.TaskCount(); got != 3*4+2 {
+			t.Errorf("fully=%v: %d tasks, want 14", fully, got)
+		}
+		wantEdges := 3 + 3 + 3*3*(4-1) // split + last row + inner rows fully
+		if !fully {
+			wantEdges = 3 + 3 + 3*(4-1)
+		}
+		if got := d.EdgeCount(); got != wantEdges {
+			t.Errorf("fully=%v: %d edges, want %d", fully, got, wantEdges)
+		}
+		if got := d.Entries(); len(got) != 1 || got[0] != DiamondSplitName {
+			t.Errorf("entries = %v", got)
+		}
+		if got := d.Exits(); len(got) != 1 || got[0] != DiamondMergeName {
+			t.Errorf("exits = %v", got)
+		}
+	}
+}
+
+func TestDiamond1x1(t *testing.T) {
+	d := Diamond(DefaultDiamondSpec(1, 1, false))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.TaskCount() != 3 {
+		t.Errorf("1x1 diamond: %d tasks", d.TaskCount())
+	}
+}
+
+func TestWithBodyReplacementValidates(t *testing.T) {
+	for _, replFully := range []bool{false, true} {
+		spec := DefaultDiamondSpec(2, 3, false)
+		d := WithBodyReplacement(Diamond(spec), spec, replFully, "workalt")
+		if err := d.Validate(); err != nil {
+			t.Fatalf("replFully=%v: %v", replFully, err)
+		}
+		if got := len(d.Adaptations[0].Faulty); got != 6 {
+			t.Errorf("faulty count = %d", got)
+		}
+		if got := len(d.Adaptations[0].Replacement); got != 6 {
+			t.Errorf("replacement count = %d", got)
+		}
+	}
+}
+
+func TestSequenceGenerator(t *testing.T) {
+	d := Sequence(5, "s", "in")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, _ := d.TopoOrder()
+	if len(order) != 5 || order[0] != "S1" || order[4] != "S5" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// runCentral translates and reduces a workflow on a single interpreter,
+// returning per-service invocation counts.
+func runCentral(t *testing.T, d *Definition, fail map[string]bool) (*hocl.Solution, map[string]int) {
+	t.Helper()
+	prog, err := d.TranslateCentral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := hocl.NewEngine()
+	calls := map[string]int{}
+	e.Funcs.Register(hoclflow.FnInvoke, func(args []hocl.Atom) ([]hocl.Atom, error) {
+		name := string(args[0].(hocl.Str))
+		calls[name]++
+		if fail[name] {
+			return []hocl.Atom{hoclflow.AtomERROR}, nil
+		}
+		return []hocl.Atom{hocl.Str("out-" + name)}, nil
+	})
+	for name, fn := range prog.Funcs {
+		e.Funcs.Register(name, fn)
+	}
+	if err := e.Reduce(prog.Global); err != nil {
+		t.Fatal(err)
+	}
+	return prog.Global, calls
+}
+
+func TestTranslateCentralRunsDiamond(t *testing.T) {
+	global, calls := runCentral(t, paperDiamond(), nil)
+	for _, s := range []string{"s1", "s2", "s3", "s4"} {
+		if calls[s] != 1 {
+			t.Errorf("%s invoked %d times", s, calls[s])
+		}
+	}
+	sink := hoclflow.FindTaskSub(global, "T4")
+	if got := hoclflow.StatusOf(sink); got != hoclflow.StatusCompleted {
+		t.Errorf("T4 = %v", got)
+	}
+}
+
+func TestTranslateCentralAdaptiveRun(t *testing.T) {
+	global, calls := runCentral(t, paperAdaptiveDiamond(), map[string]bool{"s2": true})
+	if calls["s2alt"] != 1 {
+		t.Errorf("replacement invoked %d times", calls["s2alt"])
+	}
+	sink := hoclflow.FindTaskSub(global, "T4")
+	if got := hoclflow.StatusOf(sink); got != hoclflow.StatusCompleted {
+		t.Errorf("T4 = %v, solution: %s", got, hocl.Pretty(global))
+	}
+	if !global.Contains(hoclflow.TriggerMarker("a1")) {
+		t.Error("TRIGGER marker missing")
+	}
+}
+
+// TestTranslateCentralGeneratedDiamonds executes small generated diamonds
+// of every flavour end-to-end on the centralized interpreter.
+func TestTranslateCentralGeneratedDiamonds(t *testing.T) {
+	for _, tc := range []struct {
+		h, v  int
+		fully bool
+	}{
+		{1, 1, false}, {2, 2, false}, {2, 2, true}, {3, 2, true},
+	} {
+		spec := DefaultDiamondSpec(tc.h, tc.v, tc.fully)
+		global, calls := runCentral(t, Diamond(spec), nil)
+		if calls["work"] != tc.h*tc.v {
+			t.Errorf("%dx%d fully=%v: work invoked %d times, want %d",
+				tc.h, tc.v, tc.fully, calls["work"], tc.h*tc.v)
+		}
+		sink := hoclflow.FindTaskSub(global, DiamondMergeName)
+		if got := hoclflow.StatusOf(sink); got != hoclflow.StatusCompleted {
+			t.Errorf("%dx%d fully=%v: merge = %v", tc.h, tc.v, tc.fully, got)
+		}
+	}
+}
+
+// TestTranslateCentralBodySwap runs the §V-B scenario end-to-end on the
+// centralized interpreter: the last mesh service fails, the whole body is
+// replaced, the merge still completes.
+func TestTranslateCentralBodySwap(t *testing.T) {
+	spec := DefaultDiamondSpec(2, 2, false)
+	spec.MeshService = "work"
+	d := WithBodyReplacement(Diamond(spec), spec, false, "workalt")
+	// Only the designated "last" service fails; the generator shares one
+	// mesh service name, so distinguish via a dedicated service for the
+	// failing task.
+	last := LastMeshTask(spec)
+	lt, _ := d.TaskByID(last)
+	lt.Service = "flaky"
+
+	global, calls := runCentral(t, d, map[string]bool{"flaky": true})
+	if calls["flaky"] != 1 {
+		t.Errorf("flaky invoked %d times", calls["flaky"])
+	}
+	if calls["workalt"] != 4 {
+		t.Errorf("replacement services invoked %d times, want 4", calls["workalt"])
+	}
+	sink := hoclflow.FindTaskSub(global, DiamondMergeName)
+	if got := hoclflow.StatusOf(sink); got != hoclflow.StatusCompleted {
+		t.Fatalf("merge = %v\n%s", got, hocl.Pretty(global))
+	}
+	if !global.Contains(hoclflow.TriggerMarker("bodyswap")) {
+		t.Error("TRIGGER marker missing")
+	}
+}
+
+func TestTranslateAgentsSpecs(t *testing.T) {
+	specs, err := paperAdaptiveDiamond().TranslateAgents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AgentSpec{}
+	for _, s := range specs {
+		byName[s.Task.Name] = s
+	}
+	if len(byName) != 5 { // T1..T4 + T2'
+		t.Fatalf("agent specs: %d, want 5", len(byName))
+	}
+	// The faulty task carries the local trigger.
+	t2 := byName["T2"]
+	if len(t2.Triggers) != 1 {
+		t.Fatalf("T2 triggers: %+v", t2.Triggers)
+	}
+	trig := t2.Triggers[0]
+	if trig.AdaptationID != "a1" {
+		t.Errorf("trigger adaptation = %q", trig.AdaptationID)
+	}
+	wantNotify := map[string]bool{"T1": true, "T4": true}
+	if len(trig.Notify) != 2 || !wantNotify[trig.Notify[0]] || !wantNotify[trig.Notify[1]] {
+		t.Errorf("notify = %v", trig.Notify)
+	}
+	// The destination carries the mv_src function.
+	t4 := byName["T4"]
+	if len(t4.Funcs) != 1 {
+		t.Errorf("T4 funcs: %v", t4.Funcs)
+	}
+	// The replacement agent exists, idle, with T1 as pending source.
+	t2p := byName["T2'"]
+	if got := hoclflow.PendingSources(t2p.Local); len(got) != 1 || got[0] != "T1" {
+		t.Errorf("T2' sources: %v", got)
+	}
+	// Every local solution carries the four decentralised generic rules.
+	for name, s := range byName {
+		rules := map[string]bool{}
+		for _, r := range s.Local.Rules() {
+			rules[r.Name] = true
+		}
+		for _, want := range []string{"gw_setup", "gw_call", "gw_send", "gw_recv"} {
+			if !rules[want] {
+				t.Errorf("agent %s missing rule %s", name, want)
+			}
+		}
+	}
+}
+
+func TestTranslateRejectsInvalid(t *testing.T) {
+	bad := &Definition{Tasks: []Task{{ID: "t1", Service: "s"}}}
+	if _, err := bad.TranslateCentral(); err == nil {
+		t.Error("TranslateCentral accepted invalid workflow")
+	}
+	if _, err := bad.TranslateAgents(); err == nil {
+		t.Error("TranslateAgents accepted invalid workflow")
+	}
+}
