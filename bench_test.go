@@ -22,6 +22,7 @@ import (
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
+	"ginflow/internal/space"
 	"ginflow/internal/workflow"
 )
 
@@ -308,5 +309,111 @@ func BenchmarkAblationTranslate(b *testing.B) {
 		if _, err := def.TranslateAgents(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Hot-path benchmarks (message path and reduction engine) ---------------
+
+// BenchmarkReduceDiamondRules measures the agent-side reduction of one
+// fully-connected mesh task: the local solution carries the four gw rules,
+// receives a PASS message from each of its sources, assembles parameters,
+// invokes and forwards. This is the per-message CPU cost of enactment.
+func BenchmarkReduceDiamondRules(b *testing.B) {
+	const fan = 8
+	srcs := make([]string, fan)
+	dsts := make([]string, fan)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("S%d", i+1)
+		dsts[i] = fmt.Sprintf("D%d", i+1)
+	}
+	attrs := hoclflow.TaskAttrs{Name: "W1", Src: srcs, Dst: dsts, Service: "work"}
+	tmpl := attrs.LocalSolution(hoclflow.GwSetup(), hoclflow.GwCall(), hoclflow.GwSend(), hoclflow.GwRecv())
+	passes := make([]hocl.Atom, fan)
+	for i, s := range srcs {
+		passes[i] = hoclflow.PassMessage(s, []hocl.Atom{hocl.Str("out-" + s)})
+	}
+	engine := hocl.NewEngine()
+	engine.Funcs.Register(hoclflow.FnInvoke, func([]hocl.Atom) ([]hocl.Atom, error) {
+		return []hocl.Atom{hocl.Str("res")}, nil
+	})
+	engine.Funcs.Register(hoclflow.FnSend, func([]hocl.Atom) ([]hocl.Atom, error) { return nil, nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Snapshot + shared ingest is the agent's instantiation path: a
+		// copy-on-write template copy, and wire atoms added by reference.
+		sol := tmpl.SnapshotSolution()
+		sol.Add(passes...)
+		if err := engine.Reduce(sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageRoundTrip measures the two wire hops of decentralised
+// enactment: a status push (agent -> broker -> space) and a result pass
+// (agent -> broker -> peer agent ingest).
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	clock := cluster.NewClock(time.Nanosecond)
+	broker := mq.NewQueueBroker(clock, 1e-9)
+	broker.SetServiceTime(0)
+	sp := space.New()
+	spaceSub, err := broker.Subscribe(space.DefaultTopic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inbox, err := broker.Subscribe("sa.T2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	status := hoclflow.TaskAttrs{Name: "T1", Dst: []string{"T2"}, Service: "work"}.SubSolution()
+	statusTuple := hocl.Tuple{hocl.Ident("T1"), status}
+	pass := hoclflow.PassMessage("T1", []hocl.Atom{hocl.Str("out-T1"), hocl.List{hocl.Int(1), hocl.Int(2)}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Status push: agent snapshot -> broker -> space apply, all
+		// structural — the payload is never rendered or re-parsed.
+		if err := broker.PublishAtoms(space.DefaultTopic, []hocl.Atom{hocl.Snapshot(statusTuple)}); err != nil {
+			b.Fatal(err)
+		}
+		sm := <-spaceSub.C()
+		if !sp.ApplyMessage(sm) {
+			b.Fatal("space rejected payload")
+		}
+		// Result pass: pre-built molecules -> broker -> peer ingest by
+		// reference.
+		if err := broker.PublishAtoms("sa.T2", []hocl.Atom{pass}); err != nil {
+			b.Fatal(err)
+		}
+		m := <-inbox.C()
+		if len(m.Atoms) != 1 || !hocl.Shareable(m.Atoms[0]) {
+			b.Fatalf("bad structural ingest: %v", m.Atoms)
+		}
+	}
+}
+
+// BenchmarkFig12LargeDiamond extends Fig. 12 beyond the paper's mesh
+// sizes: a 12x12 diamond (146 tasks; the fully-connected flavour moves
+// ~2000 messages) on SSH + ActiveMQ. Before the zero-reparse message
+// path, meshes this size were dominated by render/re-parse CPU.
+func BenchmarkFig12LargeDiamond(b *testing.B) {
+	for _, fully := range []bool{false, true} {
+		name := "simple"
+		if fully {
+			name = "fully-connected"
+		}
+		b.Run(name, func(b *testing.B) {
+			var model float64
+			for i := 0; i < b.N; i++ {
+				rep := runDiamondOnce(b, 12, 12, fully, core.Config{
+					Executor: executor.KindSSH,
+					Broker:   mq.KindQueue,
+					Cluster:  benchCluster(25),
+				})
+				model += rep.ExecTime
+			}
+			b.ReportMetric(model/float64(b.N), "model_s/op")
+		})
 	}
 }

@@ -116,3 +116,30 @@ func TestPublicAPIBodyReplacement(t *testing.T) {
 		t.Errorf("adaptations = %d", len(def.Adaptations))
 	}
 }
+
+// TestLargeFullyConnectedDiamond pins the acceptance bar for the
+// zero-reparse message path: a 12x12 fully-connected diamond (146
+// agents, ~2000 result transfers through one broker) completes well
+// inside the default 120 s run timeout on SSH + the queue broker.
+func TestLargeFullyConnectedDiamond(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large mesh run")
+	}
+	def := Diamond(DefaultDiamondSpec(12, 12, true))
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.5, "split", "work", "merge")
+	rep, err := Run(context.Background(), def, services, Config{
+		Executor: ExecutorSSH,
+		Broker:   BrokerActiveMQ,
+		Cluster:  ClusterConfig{Nodes: 25, CoresPerNode: 24, Scale: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("12x12 run failed: %v", err)
+	}
+	if got := rep.Statuses["MERGE"]; got != StatusCompleted {
+		t.Errorf("MERGE status = %v, want completed", got)
+	}
+	if rep.Tasks != 12*12+2 {
+		t.Errorf("tasks = %d, want %d", rep.Tasks, 12*12+2)
+	}
+}

@@ -1,0 +1,3 @@
+module ginflow
+
+go 1.24

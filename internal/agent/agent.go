@@ -88,21 +88,28 @@ type Agent struct {
 	rng    *rand.Rand
 	sub    *mq.Subscription
 
-	lastPush      string
+	// lastPush fingerprints the last status payload pushed to the space
+	// (hocl.Fingerprint over the stripped sub-solution), so unchanged
+	// states are deduplicated without rendering or snapshotting anything.
+	lastPush      uint64
+	pushed        bool
+	statusScratch []hocl.Atom
 	completedSeen bool
 	sends         atomic.Int64
 	reductions    atomic.Int64
 }
 
 // New builds an agent incarnation from its spec. The spec's template
-// solution is deep-cloned: every incarnation starts from the pristine
-// task state and rebuilds through replay, per §IV-B's soft-state design.
+// solution is snapshotted (copy-on-write at the solution boundary):
+// every incarnation starts from the pristine task state and rebuilds
+// through replay, per §IV-B's soft-state design, while immutable atoms
+// and rules stay shared with the template.
 func New(cfg Config) *Agent {
 	a := &Agent{
 		cfg:  cfg,
 		name: cfg.Spec.Task.Name,
 	}
-	a.local = cfg.Spec.Local.CloneSolution()
+	a.local = cfg.Spec.Local.SnapshotSolution()
 	a.rng = cfg.Rand
 	if a.rng == nil && cfg.Cluster != nil {
 		a.rng = cfg.Cluster.Rand()
@@ -201,9 +208,12 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 }
 
 // send implements the decentralised gw_pass product (§IV-A): ship the
-// result molecules directly to the destination agent's inbox. Link
-// latency to the destination's node is charged asynchronously — the
-// message is on the wire, the sender moves on.
+// result molecules directly to the destination agent's inbox. The
+// payload is structural — the result atoms are snapshotted (solutions
+// get independent shells, immutable atoms travel by reference) and
+// handed to the broker pre-built, never rendered to text. Link latency
+// to the destination's node is charged asynchronously — the message is
+// on the wire, the sender moves on.
 func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 	if len(args) < 1 {
 		return nil, fmt.Errorf("send: missing destination")
@@ -212,7 +222,7 @@ func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 	if !ok {
 		return nil, fmt.Errorf("send: destination is %s, want task name", args[0].Kind())
 	}
-	payload := hoclflow.PassMessage(a.name, cloneAtoms(args[1:])).String()
+	payload := []hocl.Atom{hoclflow.PassMessage(a.name, hocl.SnapshotAtoms(args[1:]))}
 	a.publishWithLatency(Topic(a.cfg.TopicPrefix, string(dst)), payload, a.linkLatencyTo(string(dst)))
 	a.sends.Add(1)
 	a.cfg.Trace.Record(trace.ResultSent, a.name, a.cfg.Incarnation, string(dst))
@@ -224,12 +234,12 @@ func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 // hosting add_dst/mv_src rules and records TRIGGER in the shared space.
 func (a *Agent) fireTrigger(trig workflow.TriggerSpec) error {
 	a.cfg.Trace.Record(trace.AdaptTriggered, a.name, a.cfg.Incarnation, trig.AdaptationID)
-	marker := hoclflow.AdaptMarker(trig.AdaptationID).String()
+	marker := []hocl.Atom{hoclflow.AdaptMarker(trig.AdaptationID)}
 	for _, peer := range trig.Notify {
 		a.publishWithLatency(Topic(a.cfg.TopicPrefix, peer), marker, a.linkLatencyTo(peer))
 		a.sends.Add(1)
 	}
-	a.publishWithLatency(a.spaceTopic(), hoclflow.TriggerMarker(trig.AdaptationID).String(), 0)
+	a.publishWithLatency(a.spaceTopic(), []hocl.Atom{hoclflow.TriggerMarker(trig.AdaptationID)}, 0)
 	return nil
 }
 
@@ -240,16 +250,16 @@ func (a *Agent) linkLatencyTo(peer string) float64 {
 	return a.cfg.Cluster.Latency(a.cfg.Node, a.cfg.Placements[peer])
 }
 
-// publishWithLatency ships a payload after the given link latency without
-// blocking the reduction.
-func (a *Agent) publishWithLatency(topic, payload string, latency float64) {
+// publishWithLatency ships a structural payload after the given link
+// latency without blocking the reduction.
+func (a *Agent) publishWithLatency(topic string, atoms []hocl.Atom, latency float64) {
 	if latency <= 0 {
-		_ = a.cfg.Broker.Publish(topic, payload)
+		_ = a.cfg.Broker.PublishAtoms(topic, atoms)
 		return
 	}
 	go func() {
 		a.clock().Sleep(latency)
-		_ = a.cfg.Broker.Publish(topic, payload)
+		_ = a.cfg.Broker.PublishAtoms(topic, atoms)
 	}()
 }
 
@@ -257,8 +267,12 @@ func (a *Agent) publishWithLatency(topic, payload string, latency float64) {
 // space ("often pushed back (written) to the multiset", §IV-A). Rules
 // and the NAME atom are stripped: the space tracks data state, and rules
 // do not round-trip cheaply.
+//
+// Deduplication is fingerprint-first: the stripped atoms are hashed in
+// place, and only a changed state pays for the snapshot and the publish —
+// an unchanged push costs one hash, no rendering, no allocation.
 func (a *Agent) pushStatus() {
-	sub := hocl.NewSolution()
+	atoms := a.statusScratch[:0]
 	for _, atom := range a.local.Atoms() {
 		if _, isRule := atom.(*hocl.Rule); isRule {
 			continue
@@ -266,14 +280,18 @@ func (a *Agent) pushStatus() {
 		if tp, ok := atom.(hocl.Tuple); ok && len(tp) == 2 && tp[0].Equal(hoclflow.KeyNAME) {
 			continue
 		}
-		sub.Add(atom.Clone())
+		atoms = append(atoms, atom)
 	}
-	payload := hocl.Tuple{hocl.Ident(a.name), sub}.String()
-	if payload == a.lastPush {
+	a.statusScratch = atoms
+	fp := hocl.Fingerprint(atoms...)
+	if a.pushed && fp == a.lastPush {
 		return
 	}
-	a.lastPush = payload
-	_ = a.cfg.Broker.Publish(a.spaceTopic(), payload)
+	a.lastPush = fp
+	a.pushed = true
+	sub := hocl.NewSolution(hocl.SnapshotAtoms(atoms)...)
+	sub.SetInert(a.local.Inert())
+	_ = a.cfg.Broker.PublishAtoms(a.spaceTopic(), []hocl.Atom{hocl.Tuple{hocl.Ident(a.name), sub}})
 }
 
 // reduce runs the interpreter over the local solution and pushes status.
@@ -290,11 +308,24 @@ func (a *Agent) reduce() error {
 	return nil
 }
 
-// ingest parses a message payload and adds its molecules to the local
-// solution. Undecodable payloads are dropped (logged via error count in
-// the supervisor if needed) — a poisoned message must not kill the agent.
-func (a *Agent) ingest(payload string) {
-	atoms, err := hocl.ParseMolecules(payload)
+// ingest folds a message into the local solution. Structural payloads
+// are ingested by reference — no parsing, no cloning — except for atoms
+// containing a non-inert solution, which the engine could mutate while
+// other owners (peers, the replay log) still share them; those are
+// cloned. Textual payloads take the parse path; undecodable ones are
+// dropped — a poisoned message must not kill the agent.
+func (a *Agent) ingest(msg mq.Message) {
+	if msg.Structural() {
+		for _, atom := range msg.Atoms {
+			if hocl.Shareable(atom) {
+				a.local.Add(atom)
+			} else {
+				a.local.Add(atom.Clone())
+			}
+		}
+		return
+	}
+	atoms, err := hocl.ParseMolecules(msg.Payload)
 	if err != nil {
 		return
 	}
@@ -339,7 +370,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	if a.cfg.Incarnation > 0 {
 		if replayable, ok := a.cfg.Broker.(mq.Replayable); ok {
 			for _, msg := range replayable.Log(a.inboxTopic()) {
-				a.ingest(msg.Payload)
+				a.ingest(msg)
 			}
 		}
 	}
@@ -352,13 +383,13 @@ func (a *Agent) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			return nil
 		case msg := <-sub.C():
-			a.ingest(msg.Payload)
+			a.ingest(msg)
 			// Drain whatever else is already queued before reducing:
 			// one reduction can absorb a burst of arrivals.
 			for drained := true; drained; {
 				select {
 				case more := <-sub.C():
-					a.ingest(more.Payload)
+					a.ingest(more)
 				default:
 					drained = false
 				}
@@ -368,12 +399,4 @@ func (a *Agent) Run(ctx context.Context) error {
 			}
 		}
 	}
-}
-
-func cloneAtoms(atoms []hocl.Atom) []hocl.Atom {
-	out := make([]hocl.Atom, len(atoms))
-	for i, a := range atoms {
-		out[i] = a.Clone()
-	}
-	return out
 }

@@ -306,13 +306,17 @@ func TestAgentIngestIgnoresGarbage(t *testing.T) {
 		Cluster: clus, Node: clus.Node(0), Services: noopRegistry(0, "s1"),
 	})
 	before := a.Local().Len()
-	a.ingest("<<<not hocl")
+	a.ingest(mq.Message{Payload: "<<<not hocl"})
 	if a.Local().Len() != before {
 		t.Error("garbage payload mutated the local solution")
 	}
-	a.ingest("GOODATOM")
+	a.ingest(mq.Message{Payload: "GOODATOM"})
 	if a.Local().Len() != before+1 {
 		t.Error("valid payload not ingested")
+	}
+	a.ingest(mq.Message{Atoms: []hocl.Atom{hocl.Ident("STRUCTURAL")}})
+	if a.Local().Len() != before+2 {
+		t.Error("structural payload not ingested")
 	}
 }
 
@@ -344,5 +348,60 @@ func TestCrashErrorFormatting(t *testing.T) {
 	}
 	if !IsCrash(fmt.Errorf("wrapped: %w", err)) {
 		t.Error("wrapped crash not detected")
+	}
+}
+
+// TestPushStatusDeduplicatesByFingerprint pins the cheap-dedup satellite:
+// reducing an unchanged solution publishes exactly one status message,
+// and a state change publishes again.
+func TestPushStatusDeduplicatesByFingerprint(t *testing.T) {
+	clus := testCluster()
+	broker := mq.NewQueueBroker(clus.Clock(), 0.0001)
+	p, _ := twoAgentSpecs(t)
+	a := New(Config{
+		Spec: p, Broker: broker, Cluster: clus, Node: clus.Node(0),
+		Services: noopRegistry(0, "s1"),
+	})
+	a.pushStatus()
+	if got := broker.Published(); got != 1 {
+		t.Fatalf("first push published %d messages, want 1", got)
+	}
+	a.pushStatus() // unchanged state: deduplicated
+	if got := broker.Published(); got != 1 {
+		t.Errorf("unchanged push published %d messages, want 1", got)
+	}
+	a.local.Add(hocl.Ident("NEWSTATE"))
+	a.pushStatus()
+	if got := broker.Published(); got != 2 {
+		t.Errorf("changed push published %d messages, want 2", got)
+	}
+}
+
+// TestIngestSharesFrozenAtoms asserts the structural ingest contract:
+// shareable (frozen) atoms enter the local solution by reference, while
+// atoms containing an active solution are isolated by cloning.
+func TestIngestSharesFrozenAtoms(t *testing.T) {
+	clus := testCluster()
+	p, _ := twoAgentSpecs(t)
+	a := New(Config{
+		Spec: p, Broker: mq.NewQueueBroker(clus.Clock(), 0.0001),
+		Cluster: clus, Node: clus.Node(0), Services: noopRegistry(0, "s1"),
+	})
+
+	frozen := hoclflow.PassMessage("T0", []hocl.Atom{hocl.Str("r")})
+	a.ingest(mq.Message{Atoms: []hocl.Atom{frozen}})
+	got := a.local.At(a.local.Len() - 1)
+	if gt, ok := got.(hocl.Tuple); !ok || gt[2].(*hocl.Solution) != frozen.(hocl.Tuple)[2].(*hocl.Solution) {
+		t.Error("frozen PASS payload was not shared by reference")
+	}
+
+	active := hocl.NewSolution(hocl.Str("r")) // not inert: must be cloned
+	a.ingest(mq.Message{Atoms: []hocl.Atom{active}})
+	got = a.local.At(a.local.Len() - 1)
+	if got.(*hocl.Solution) == active {
+		t.Error("active solution was shared; the engine could mutate the sender's copy")
+	}
+	if !got.Equal(active) {
+		t.Errorf("clone diverged: %v", got)
 	}
 }

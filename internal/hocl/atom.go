@@ -3,7 +3,7 @@ package hocl
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -154,9 +154,89 @@ func (a List) Clone() Atom {
 // A Solution tracks an inertness flag maintained by the reduction engine:
 // a solution is inert when no rule it contains can fire and all of its
 // sub-solutions are inert. Mutating the solution clears the flag.
+//
+// A Solution also tracks a generation counter bumped on every structural
+// mutation. The reduction engine keeps per-solution caches (the indices
+// of contained rules and the list of reachable nested solutions) that are
+// invalidated by the counter, so an unchanged solution is never rescanned.
 type Solution struct {
 	elems []Atom
 	inert bool
+
+	// gen counts structural mutations (DESIGN.md "Incremental reduction").
+	gen uint64
+	// cacheGen tags ruleIdx/nested with gen+1 at build time, so the
+	// caches are valid while cacheGen == gen+1: any mutation bumps gen
+	// past them, and the zero value (gen 0, cacheGen 0) is never valid —
+	// solutions built by struct literal are safe without ceremony.
+	cacheGen uint64
+	// ruleIdx holds the elems indices of *Rule atoms.
+	ruleIdx []int
+	// nested holds the solutions reachable from elems through tuples and
+	// lists without crossing another solution boundary.
+	nested []*Solution
+}
+
+// mutated records a structural mutation: the solution is active again and
+// the generation counter moves past the engine caches, invalidating them.
+func (s *Solution) mutated() {
+	s.gen++
+	s.inert = false
+}
+
+// Gen returns the solution's generation: a counter bumped on every
+// structural mutation (Add, RemoveIndices, ReplaceAt). Snapshots and
+// clones start a fresh lineage; the counter only orders mutations of one
+// solution instance.
+func (s *Solution) Gen() uint64 { return s.gen }
+
+// ruleIndices returns the cached elems indices of the rules in s.
+func (s *Solution) ruleIndices() []int {
+	if s.cacheGen != s.gen+1 {
+		s.buildCaches()
+	}
+	return s.ruleIdx
+}
+
+// nestedSolutions returns the cached solutions reachable from s through
+// tuples and lists without crossing another solution boundary (the
+// engine's recursion handles deeper levels).
+func (s *Solution) nestedSolutions() []*Solution {
+	if s.cacheGen != s.gen+1 {
+		s.buildCaches()
+	}
+	return s.nested
+}
+
+func (s *Solution) buildCaches() {
+	s.ruleIdx = s.ruleIdx[:0]
+	s.nested = s.nested[:0]
+	for i, a := range s.elems {
+		switch v := a.(type) {
+		case *Rule:
+			s.ruleIdx = append(s.ruleIdx, i)
+		case *Solution:
+			s.nested = append(s.nested, v)
+		case Tuple:
+			collectNested([]Atom(v), &s.nested)
+		case List:
+			collectNested([]Atom(v), &s.nested)
+		}
+	}
+	s.cacheGen = s.gen + 1
+}
+
+func collectNested(elems []Atom, out *[]*Solution) {
+	for _, e := range elems {
+		switch v := e.(type) {
+		case *Solution:
+			*out = append(*out, v)
+		case Tuple:
+			collectNested([]Atom(v), out)
+		case List:
+			collectNested([]Atom(v), out)
+		}
+	}
 }
 
 // NewSolution returns a solution containing the given atoms.
@@ -181,7 +261,7 @@ func (s *Solution) Atoms() []Atom { return s.elems }
 func (s *Solution) Add(atoms ...Atom) {
 	s.elems = append(s.elems, atoms...)
 	if len(atoms) > 0 {
-		s.inert = false
+		s.mutated()
 	}
 }
 
@@ -191,12 +271,14 @@ func (s *Solution) RemoveIndices(idx []int) {
 	if len(idx) == 0 {
 		return
 	}
-	sorted := append([]int(nil), idx...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	for _, i := range sorted {
+	sorted := slices.Clone(idx)
+	slices.Sort(sorted)
+	// Remove back to front so earlier indices stay valid.
+	for k := len(sorted) - 1; k >= 0; k-- {
+		i := sorted[k]
 		s.elems = append(s.elems[:i], s.elems[i+1:]...)
 	}
-	s.inert = false
+	s.mutated()
 }
 
 // RemoveFirst removes the first atom equal to a, reporting whether one was
@@ -312,7 +394,7 @@ func (s *Solution) FindTuple(key Ident) (Tuple, int) {
 // ReplaceAt substitutes the atom at index i and marks the solution active.
 func (s *Solution) ReplaceAt(i int, a Atom) {
 	s.elems[i] = a
-	s.inert = false
+	s.mutated()
 }
 
 func (s *Solution) String() string {

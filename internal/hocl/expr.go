@@ -163,6 +163,13 @@ func (b *Binding) bindRest(name string, atoms []Atom) {
 	b.log = append(b.log, bindEntry{name, true})
 }
 
+// reset empties the binding for reuse, keeping its maps and log capacity.
+func (b *Binding) reset() {
+	clear(b.atoms)
+	clear(b.rests)
+	b.log = b.log[:0]
+}
+
 // mark returns an undo checkpoint.
 func (b *Binding) mark() int { return len(b.log) }
 
@@ -254,8 +261,10 @@ func EvalScalar(e Expr, env *Binding, funcs *Funcs) (Atom, error) {
 }
 
 // EvalElems evaluates an element list, splicing omega references and
-// multi-atom function results, and deep-cloning every produced atom so
-// products never alias consumed molecules.
+// multi-atom function results. Every produced atom is snapshotted
+// (copy-on-write at the Solution boundary) so products never alias
+// consumed molecules: non-solution atoms are immutable and travel by
+// reference, solutions get independent shells.
 func EvalElems(elems []Expr, env *Binding, funcs *Funcs) ([]Atom, error) {
 	var out []Atom
 	for _, e := range elems {
@@ -267,7 +276,7 @@ func EvalElems(elems []Expr, env *Binding, funcs *Funcs) ([]Atom, error) {
 					return nil, evalErrf(e, "unbound omega variable %q", x.Name)
 				}
 				for _, a := range rest {
-					out = append(out, a.Clone())
+					out = append(out, Snapshot(a))
 				}
 				continue
 			}
@@ -275,21 +284,30 @@ func EvalElems(elems []Expr, env *Binding, funcs *Funcs) ([]Atom, error) {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, a.Clone())
+			out = append(out, Snapshot(a))
 		case *ECall:
 			atoms, err := evalCall(x, env, funcs)
 			if err != nil {
 				return nil, err
 			}
 			for _, a := range atoms {
-				out = append(out, a.Clone())
+				out = append(out, Snapshot(a))
 			}
+		case *ETuple, *EList, *ESolution:
+			// Freshly constructed composites: their inner atoms were
+			// already snapshotted by the recursive EvalElems, so
+			// re-snapshotting would copy every solution shell twice.
+			a, err := EvalScalar(e, env, funcs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
 		default:
 			a, err := EvalScalar(e, env, funcs)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, a.Clone())
+			out = append(out, Snapshot(a))
 		}
 	}
 	return out, nil

@@ -1,0 +1,119 @@
+package hocl
+
+import (
+	"testing"
+)
+
+// The incremental engine caches each solution's rule index and nested
+// solution list, and skips inert sub-solutions. These tests pin the
+// invariant those caches must preserve: after ANY mutation of a solution,
+// a rule that can fire does fire on the next Reduce.
+
+func TestInertnessCacheNeverSkipsFireableRuleAfterAdd(t *testing.T) {
+	rule := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+	sol := NewSolution(Int(3), rule)
+	e := NewEngine()
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Inert() {
+		t.Fatal("solution not inert after reduce")
+	}
+	// New atoms re-enable the cached rule: the engine must rescan.
+	sol.Add(Int(7), Int(1))
+	if sol.Inert() {
+		t.Fatal("mutation did not clear inertness")
+	}
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Len() != 2 || !sol.Contains(Int(7)) {
+		t.Errorf("after re-reduce: %v, want <7, max>", sol)
+	}
+}
+
+func TestRuleIndexCacheSeesRuleAddedAfterInertness(t *testing.T) {
+	sol := NewSolution(Int(2), Int(5))
+	e := NewEngine()
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	// The rule index was cached as empty; adding a rule must invalidate it.
+	sol.Add(MustParseRuleBody("max", "replace x, y by x if x >= y", nil))
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Len() != 2 || !sol.Contains(Int(5)) {
+		t.Errorf("after adding rule: %v, want <5, max>", sol)
+	}
+}
+
+func TestNestedSolutionCacheSeesNewSubSolution(t *testing.T) {
+	// An outer rule matches on an inert sub-solution; the sub-solution
+	// arrives only after the outer solution has already gone inert once.
+	outer := MustParseRuleBody("grab", "replace <x, *w> by x", nil)
+	sol := NewSolution(outer)
+	e := NewEngine()
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	sol.Add(NewSolution(Int(11), Int(12)))
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Contains(Int(11)) && !sol.Contains(Int(12)) {
+		t.Errorf("outer rule never saw the new sub-solution: %v", sol)
+	}
+}
+
+func TestReplaceAtInvalidatesCaches(t *testing.T) {
+	rule := MustParseRuleBody("gt", "replace x by 9 if x > 10", nil)
+	sol := NewSolution(Int(1), rule)
+	e := NewEngine()
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Contains(Int(9)) {
+		t.Fatal("rule fired prematurely")
+	}
+	sol.ReplaceAt(0, Int(20))
+	if err := e.Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Contains(Int(9)) {
+		t.Errorf("rule skipped after ReplaceAt: %v", sol)
+	}
+}
+
+func TestInertSubSolutionIsNotReReduced(t *testing.T) {
+	// A pre-frozen sub-solution (the structural message contract) is
+	// skipped entirely: reducing the outer solution must not write to it.
+	inner := NewSolution(Int(1))
+	inner.SetInert(true)
+	sol := NewSolution(Tuple{Ident("PASS"), Ident("T1"), inner})
+	genBefore := inner.Gen()
+	if err := NewEngine().Reduce(sol); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Gen() != genBefore {
+		t.Error("engine mutated an inert sub-solution")
+	}
+	if !sol.Inert() {
+		t.Error("outer solution should be inert")
+	}
+}
+
+func TestEngineReuseAcrossSolutions(t *testing.T) {
+	// The engine's scratch state (matcher, permutation buffers) must not
+	// leak between reductions of different solutions.
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		sol, err := e.Run(`let max = replace x, y by x if x >= y in <4, 17, 3, 9, max>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Contains(Int(17)) || sol.Len() != 2 {
+			t.Errorf("round %d: %v", i, sol)
+		}
+	}
+}

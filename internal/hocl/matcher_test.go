@@ -19,7 +19,7 @@ func matchOnce(t *testing.T, ruleSrc string, sol *Solution) *Match {
 // reduceNestedOnly reduces every nested solution to inertness without
 // firing top-level rules — test scaffolding for matcher-level assertions.
 func (e *Engine) reduceNestedOnly(sol *Solution) error {
-	for _, sub := range nestedSolutions(sol) {
+	for _, sub := range sol.nestedSolutions() {
 		if err := e.reduce(sub, 1); err != nil {
 			return err
 		}

@@ -103,19 +103,50 @@ type Match struct {
 // natural order), which is how the engine injects chemical
 // non-determinism. Returns nil when no match exists.
 func MatchRule(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *Match {
-	m := &matcher{
-		sol:   sol,
-		used:  make([]bool, sol.Len()),
-		env:   NewBinding(),
-		funcs: funcs,
-		order: order,
+	var m matcher
+	m.reset(sol, funcs, order)
+	return m.matchRule(r, selfIdx)
+}
+
+type matcher struct {
+	sol   *Solution
+	used  []bool
+	env   *Binding
+	funcs *Funcs
+	order []int
+}
+
+// reset prepares the matcher for a fresh match, reusing its used-flags
+// slice and binding so the engine's hot loop does not allocate per
+// candidate rule.
+func (m *matcher) reset(sol *Solution, funcs *Funcs, order []int) {
+	m.sol = sol
+	m.funcs = funcs
+	m.order = order
+	n := sol.Len()
+	if cap(m.used) < n {
+		m.used = make([]bool, n)
+	} else {
+		m.used = m.used[:n]
+		clear(m.used)
 	}
-	if selfIdx >= 0 && selfIdx < sol.Len() {
+	if m.env == nil {
+		m.env = NewBinding()
+	} else {
+		m.env.reset()
+	}
+}
+
+// matchRule runs the match for r against the prepared solution. The
+// returned Match shares the matcher's binding: it is valid until the next
+// reset.
+func (m *matcher) matchRule(r *Rule, selfIdx int) *Match {
+	if selfIdx >= 0 && selfIdx < m.sol.Len() {
 		m.used[selfIdx] = true
 	}
 	var consumed []int
 	ok := m.matchSeq(r.Pattern, 0, func() bool {
-		if !EvalGuard(r.Guard, m.env, funcs) {
+		if !EvalGuard(r.Guard, m.env, m.funcs) {
 			return false
 		}
 		consumed = m.consumedIndices(selfIdx)
@@ -125,14 +156,6 @@ func MatchRule(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *
 		return nil
 	}
 	return &Match{Env: m.env, Consumed: consumed}
-}
-
-type matcher struct {
-	sol   *Solution
-	used  []bool
-	env   *Binding
-	funcs *Funcs
-	order []int
 }
 
 func (m *matcher) consumedIndices(selfIdx int) []int {
@@ -156,6 +179,11 @@ func (m *matcher) matchSeq(patterns []Pattern, k int, cont func() bool) bool {
 	}
 	p := patterns[k]
 	n := m.sol.Len()
+	// The continuation is loop-invariant: allocate it once per pattern
+	// level, not once per candidate atom.
+	next := func() bool {
+		return m.matchSeq(patterns, k+1, cont)
+	}
 	for oi := 0; oi < n; oi++ {
 		i := oi
 		if m.order != nil {
@@ -165,9 +193,7 @@ func (m *matcher) matchSeq(patterns []Pattern, k int, cont func() bool) bool {
 			continue
 		}
 		m.used[i] = true
-		ok := m.matchAtom(p, m.sol.At(i), func() bool {
-			return m.matchSeq(patterns, k+1, cont)
-		})
+		ok := m.matchAtom(p, m.sol.At(i), next)
 		if ok {
 			return true
 		}
@@ -260,6 +286,24 @@ func (m *matcher) matchFixed(pats []Pattern, atoms []Atom, k int, cont func() bo
 // against distinct atoms of sub, binding the leftovers to the omega rest
 // variable (or requiring none when Rest is empty).
 func (m *matcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func() bool) bool {
+	if len(pt.Elems) == 0 {
+		// Fast path for the ubiquitous exact-empty (<>) and rest-only
+		// (<*w>) patterns: no element choice, so no backtracking state.
+		if pt.Rest == "" {
+			return sub.Len() == 0 && cont()
+		}
+		rest := sub.Atoms()
+		if prev, ok := m.env.Rest(pt.Rest); ok {
+			return restEqual(prev, rest) && cont()
+		}
+		mark := m.env.mark()
+		m.env.bindRest(pt.Rest, rest)
+		if cont() {
+			return true
+		}
+		m.env.undo(mark)
+		return false
+	}
 	used := make([]bool, sub.Len())
 	var rec func(k int) bool
 	rec = func(k int) bool {
@@ -290,14 +334,15 @@ func (m *matcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func(
 			m.env.undo(mark)
 			return false
 		}
+		next := func() bool {
+			return rec(k + 1)
+		}
 		for i := 0; i < sub.Len(); i++ {
 			if used[i] {
 				continue
 			}
 			used[i] = true
-			ok := m.matchAtom(pt.Elems[k], sub.At(i), func() bool {
-				return rec(k + 1)
-			})
+			ok := m.matchAtom(pt.Elems[k], sub.At(i), next)
 			if ok {
 				return true
 			}

@@ -37,6 +37,15 @@ type Engine struct {
 	Trace func(TraceEvent)
 
 	steps int
+
+	// scratch is the reusable matcher (used-flags and binding); its state
+	// is only live within one fireOne candidate attempt, so a single
+	// instance serves the whole (sequential) reduction.
+	scratch matcher
+	// ruleOrd / candOrd are reusable permutation buffers for the
+	// chemically non-deterministic (Rand != nil) mode.
+	ruleOrd []int
+	candOrd []int
 }
 
 // NewEngine returns an engine with the built-in function registry.
@@ -83,8 +92,14 @@ func (e *Engine) reduce(sol *Solution, depth int) error {
 		// Depth-first: inner programs must finish before their results
 		// are observable by outer rules (sub-solution inertness law).
 		// Solutions nested inside tuples and lists (e.g. SRC:<...>) count:
-		// the workflow rules match on their inertness.
-		for _, sub := range nestedSolutions(sol) {
+		// the workflow rules match on their inertness. The nested list is
+		// cached on the solution and invalidated by its generation
+		// counter, and sub-solutions already marked inert are skipped
+		// without a recursive call.
+		for _, sub := range sol.nestedSolutions() {
+			if sub.Inert() {
+				continue
+			}
 			if err := e.reduce(sub, depth+1); err != nil {
 				return err
 			}
@@ -101,16 +116,25 @@ func (e *Engine) reduce(sol *Solution, depth int) error {
 }
 
 // fireOne tries every rule in sol and applies the first match found,
-// reporting whether anything fired.
+// reporting whether anything fired. Rule positions come from the
+// solution's cached rule index, so atom-heavy solutions are not rescanned
+// per firing; matcher state and permutation buffers are engine-owned and
+// reused across attempts.
 func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
-	n := sol.Len()
-	ruleOrder := e.perm(n)
-	for _, i := range ruleOrder {
-		r, ok := sol.At(i).(*Rule)
-		if !ok {
-			continue
+	rules := sol.ruleIndices()
+	if len(rules) == 0 {
+		return false, nil
+	}
+	ruleOrd := e.permInto(&e.ruleOrd, len(rules))
+	for k := range rules {
+		ri := k
+		if ruleOrd != nil {
+			ri = ruleOrd[k]
 		}
-		m := MatchRule(r, sol, i, e.funcs(), e.perm(n))
+		idx := rules[ri]
+		r := sol.At(idx).(*Rule)
+		e.scratch.reset(sol, e.funcs(), e.permInto(&e.candOrd, sol.Len()))
+		m := e.scratch.matchRule(r, idx)
 		if m == nil {
 			continue
 		}
@@ -118,7 +142,7 @@ func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
 		if e.steps > e.maxSteps() {
 			return false, &ErrDiverged{Steps: e.maxSteps()}
 		}
-		if err := r.Apply(sol, m, i, e.funcs()); err != nil {
+		if err := r.Apply(sol, m, idx, e.funcs()); err != nil {
 			return false, err
 		}
 		if e.Trace != nil {
@@ -129,43 +153,27 @@ func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
 	return false, nil
 }
 
-// nestedSolutions returns the solutions reachable from s through tuples
-// and lists without crossing another solution boundary (recursion in
-// reduce handles deeper levels).
-func nestedSolutions(s *Solution) []*Solution {
-	var out []*Solution
-	var walk func(a Atom)
-	walk = func(a Atom) {
-		switch v := a.(type) {
-		case *Solution:
-			out = append(out, v)
-		case Tuple:
-			for _, e := range v {
-				walk(e)
-			}
-		case List:
-			for _, e := range v {
-				walk(e)
-			}
-		}
-	}
-	for _, a := range s.Atoms() {
-		walk(a)
-	}
-	return out
-}
-
-// perm returns the candidate visiting order for n atoms: a fresh random
-// permutation when Rand is set, or nil (natural order) otherwise.
-func (e *Engine) perm(n int) []int {
+// permInto writes a fresh random permutation of [0,n) into the reusable
+// buffer when Rand is set, or returns nil (natural order) otherwise.
+func (e *Engine) permInto(buf *[]int, n int) []int {
 	if e.Rand == nil {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		return order
+		return nil
 	}
-	return e.Rand.Perm(n)
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := e.Rand.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+	*buf = s
+	return s
 }
 
 // Run parses an HOCL program and reduces it to inertia, returning the

@@ -1,0 +1,172 @@
+package hocl
+
+import (
+	"testing"
+)
+
+func sampleTaskSub() *Solution {
+	return NewSolution(
+		Tuple{Ident("SRC"), NewSolution(Ident("T1"), Ident("T2"))},
+		Tuple{Ident("DST"), NewSolution(Ident("T4"))},
+		Tuple{Ident("SRV"), Str("s1")},
+		Tuple{Ident("RES"), NewSolution(Str("out"), List{Int(1), Int(2)})},
+		Int(42),
+	)
+}
+
+func TestSnapshotIsIndependentlyMutable(t *testing.T) {
+	orig := sampleTaskSub()
+	origStr := orig.String()
+	snap := orig.SnapshotSolution()
+	if !snap.Equal(orig) {
+		t.Fatalf("snapshot not equal: %v vs %v", snap, orig)
+	}
+
+	// Mutating the snapshot — including nested solutions — must not leak
+	// into the original.
+	snap.Add(Ident("EXTRA"))
+	if tp, idx := snap.FindTuple(Ident("SRC")); idx >= 0 {
+		tp[1].(*Solution).Add(Ident("T9"))
+	}
+	if orig.String() != origStr {
+		t.Errorf("original changed after snapshot mutation:\n%s\nwant\n%s", orig, origStr)
+	}
+
+	// And the other way round.
+	orig.RemoveIndices([]int{0})
+	if snap.Len() != 6 {
+		t.Errorf("snapshot changed after original mutation: %v", snap)
+	}
+}
+
+func TestSnapshotSharesSolutionFreeAtoms(t *testing.T) {
+	tup := Tuple{Ident("SRV"), Str("s1")}
+	if got := Snapshot(tup); &got.(Tuple)[0] == &tup[0] {
+		// Indexing proves same backing array; a solution-free tuple must
+		// be returned as-is.
+		t.Log("shared, as expected")
+	}
+	got, copied := snapshotAtom(tup)
+	if copied {
+		t.Errorf("solution-free tuple was copied")
+	}
+	if !got.Equal(tup) {
+		t.Errorf("snapshot altered the atom: %v", got)
+	}
+}
+
+func TestSnapshotPreservesInertness(t *testing.T) {
+	sol := NewSolution(Int(1))
+	sol.SetInert(true)
+	if !sol.SnapshotSolution().Inert() {
+		t.Error("snapshot dropped the inert flag")
+	}
+}
+
+func TestShareable(t *testing.T) {
+	inert := NewSolution(Str("r"))
+	inert.SetInert(true)
+	active := NewSolution(Str("r"))
+
+	cases := []struct {
+		atom Atom
+		want bool
+	}{
+		{Int(1), true},
+		{Str("x"), true},
+		{Tuple{Ident("PASS"), Ident("T1"), inert}, true},
+		{Tuple{Ident("PASS"), Ident("T1"), active}, false},
+		{List{inert}, true},
+		{List{active}, false},
+		{inert, true},
+		{active, false},
+	}
+	for _, c := range cases {
+		if got := Shareable(c.atom); got != c.want {
+			t.Errorf("Shareable(%v) = %v, want %v", c.atom, got, c.want)
+		}
+	}
+
+	// A non-inert solution buried inside an inert one still blocks
+	// sharing: a rule elsewhere could destructure the outer solution and
+	// re-emit the inner one into an active context.
+	outer := NewSolution(active)
+	outer.SetInert(true)
+	if Shareable(outer) {
+		t.Error("inert solution containing an active one must not be shareable")
+	}
+}
+
+func TestFingerprintDistinguishesStates(t *testing.T) {
+	a := sampleTaskSub()
+	b := sampleTaskSub()
+	if Fingerprint(a.Atoms()...) != Fingerprint(b.Atoms()...) {
+		t.Error("identical states fingerprint differently")
+	}
+	b.Add(Str("new"))
+	if Fingerprint(a.Atoms()...) == Fingerprint(b.Atoms()...) {
+		t.Error("different states fingerprint equal")
+	}
+
+	// Kind confusion must not collide: 1 vs "1" vs <1> vs [1].
+	fps := map[uint64]string{}
+	for _, c := range []Atom{Int(1), Str("1"), Ident("A1"), NewSolution(Int(1)), List{Int(1)}} {
+		fp := Fingerprint(c)
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("fingerprint collision: %v vs %s", c, prev)
+		}
+		fps[fp] = c.String()
+	}
+}
+
+func TestFingerprintSeesRuleBodyChanges(t *testing.T) {
+	// Rules can ride inside nested solutions of a status payload (they
+	// are only stripped at top level), so two rules that differ only in
+	// guard or products must not collide — same name/arity included.
+	a := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+	b := MustParseRuleBody("max", "replace x, y by y if x >= y", nil)
+	c := MustParseRuleBody("max", "replace x, y by x if x <= y", nil)
+	if Fingerprint(NewSolution(a)) == Fingerprint(NewSolution(b)) {
+		t.Error("rules with different products fingerprint equal")
+	}
+	if Fingerprint(NewSolution(a)) == Fingerprint(NewSolution(c)) {
+		t.Error("rules with different guards fingerprint equal")
+	}
+	a2 := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+	if Fingerprint(NewSolution(a)) != Fingerprint(NewSolution(a2)) {
+		t.Error("structurally equal rules fingerprint differently")
+	}
+}
+
+func TestFingerprintIgnoresInertFlag(t *testing.T) {
+	a := NewSolution(Int(1))
+	fp := Fingerprint(a)
+	a.SetInert(true)
+	if Fingerprint(a) != fp {
+		t.Error("inert flag changed the fingerprint")
+	}
+}
+
+func TestGenCountsMutations(t *testing.T) {
+	s := NewSolution(Int(1))
+	g := s.Gen()
+	s.Add(Int(2))
+	if s.Gen() == g {
+		t.Error("Add did not bump the generation")
+	}
+	g = s.Gen()
+	s.RemoveIndices([]int{0})
+	if s.Gen() == g {
+		t.Error("RemoveIndices did not bump the generation")
+	}
+	g = s.Gen()
+	s.ReplaceAt(0, Int(3))
+	if s.Gen() == g {
+		t.Error("ReplaceAt did not bump the generation")
+	}
+	g = s.Gen()
+	s.SetInert(true)
+	if s.Gen() != g {
+		t.Error("SetInert must not bump the generation")
+	}
+}

@@ -77,9 +77,15 @@ func GwRecv() *hocl.Rule {
 }
 
 // PassMessage builds the molecule carried by a result transfer from task
-// src: PASS:src:<res...>.
+// src: PASS:src:<res...>. The carried solution is marked inert at build
+// time: the results come out of the sender's already-reduced RES solution
+// (gw_send only matches an inert RES), so the receiving engine can match
+// gw_recv immediately instead of first reducing the payload — and, on the
+// structural message path, the shared payload is never written to.
 func PassMessage(src string, res []hocl.Atom) hocl.Atom {
-	return hocl.Tuple{KeyPASS, hocl.Ident(src), hocl.NewSolution(res...)}
+	sol := hocl.NewSolution(res...)
+	sol.SetInert(true)
+	return hocl.Tuple{KeyPASS, hocl.Ident(src), sol}
 }
 
 // AdaptMarker builds the ADAPT:"id" molecule that enables an adaptation's

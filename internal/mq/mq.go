@@ -23,23 +23,55 @@ import (
 	"time"
 
 	"ginflow/internal/cluster"
+	"ginflow/internal/hocl"
 )
 
-// Message is one published datum. Payloads are opaque strings — GinFlow
-// ships HOCL molecule text.
+// Message is one published datum. A message carries its content in one of
+// two forms:
+//
+//   - textual: Payload holds HOCL molecule text (the original wire
+//     format, still used by external producers and the CLI);
+//   - structural: Atoms holds pre-built molecules shared by reference —
+//     the zero-reparse path (DESIGN.md). Payload is empty and Text()
+//     renders on demand for logs and debugging.
+//
+// Structural payloads are frozen: the publisher hands over atoms it will
+// no longer mutate, and consumers must not mutate them either (the same
+// atoms may be shared by other subscribers and by the broker's replay
+// log). hocl.Shareable tells a consumer whether an atom can be ingested
+// into a reducing solution by reference or must be cloned first.
 type Message struct {
 	Topic   string
 	Payload string
+	Atoms   []hocl.Atom
 	// Offset is the message's position in its topic's log (LogBroker
 	// only; -1 for QueueBroker deliveries).
 	Offset int
 }
 
+// Structural reports whether the message carries a structural payload.
+func (m Message) Structural() bool { return m.Atoms != nil }
+
+// Text returns the textual form of the payload, rendering structural
+// payloads on demand. This is the logging/CLI accessor; hot paths consume
+// Atoms directly.
+func (m Message) Text() string {
+	if m.Atoms != nil {
+		return hocl.FormatMolecules(m.Atoms)
+	}
+	return m.Payload
+}
+
 // Broker is the pub/sub surface agents use.
 type Broker interface {
-	// Publish sends payload to every current subscriber of topic after
-	// the broker's modelled latency.
+	// Publish sends payload text to every current subscriber of topic
+	// after the broker's modelled latency.
 	Publish(topic, payload string) error
+	// PublishAtoms sends a structural payload: the pre-built molecules
+	// are delivered (and, on a log broker, retained) by reference, never
+	// rendered or re-parsed. The caller must not mutate the atoms after
+	// publishing.
+	PublishAtoms(topic string, atoms []hocl.Atom) error
 	// Subscribe registers a consumer. Messages published after the
 	// subscription are delivered on C.
 	Subscribe(topic string) (*Subscription, error)
@@ -275,6 +307,16 @@ func (b *QueueBroker) Publish(topic, payload string) error {
 	return nil
 }
 
+// PublishAtoms delivers a structural payload to current subscribers only.
+func (b *QueueBroker) PublishAtoms(topic string, atoms []hocl.Atom) error {
+	if err := b.checkOpen(); err != nil {
+		return err
+	}
+	b.published.Add(1)
+	b.deliver(Message{Topic: topic, Atoms: atoms, Offset: -1})
+	return nil
+}
+
 // LogBroker is the Kafka-like broker: append-only persisted topics with
 // replay, at a higher per-message cost.
 type LogBroker struct {
@@ -302,24 +344,42 @@ func NewLogBroker(clock *cluster.Clock, latency float64) *LogBroker {
 
 // Publish appends to the topic log, then delivers to subscribers.
 func (b *LogBroker) Publish(topic, payload string) error {
+	return b.append(Message{Topic: topic, Payload: payload})
+}
+
+// PublishAtoms appends a structural payload to the topic log, then
+// delivers it. The log retains the atoms by reference: replay hands the
+// same frozen molecules back, so recovery pays no re-parse either.
+func (b *LogBroker) PublishAtoms(topic string, atoms []hocl.Atom) error {
+	return b.append(Message{Topic: topic, Atoms: atoms})
+}
+
+func (b *LogBroker) append(msg Message) error {
 	if err := b.checkOpen(); err != nil {
 		return err
 	}
 	b.published.Add(1)
 	b.logMu.Lock()
-	offset := len(b.logs[topic])
-	msg := Message{Topic: topic, Payload: payload, Offset: offset}
-	b.logs[topic] = append(b.logs[topic], msg)
+	msg.Offset = len(b.logs[msg.Topic])
+	b.logs[msg.Topic] = append(b.logs[msg.Topic], msg)
 	b.logMu.Unlock()
 	b.deliver(msg)
 	return nil
 }
 
-// Log returns a copy of the topic's full history.
+// Log returns a copy of the topic's full history. Atom slices are copied
+// per message so a caller cannot swap molecules inside the log; the atoms
+// themselves are shared (they are frozen by the publish contract).
 func (b *LogBroker) Log(topic string) []Message {
 	b.logMu.RLock()
 	defer b.logMu.RUnlock()
-	return append([]Message(nil), b.logs[topic]...)
+	out := append([]Message(nil), b.logs[topic]...)
+	for i := range out {
+		if out[i].Atoms != nil {
+			out[i].Atoms = append([]hocl.Atom(nil), out[i].Atoms...)
+		}
+	}
+	return out
 }
 
 var (

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ginflow/internal/cluster"
+	"ginflow/internal/hocl"
 )
 
 func testClock() *cluster.Clock {
@@ -256,5 +257,67 @@ func TestConcurrentPublishersAndSubscribers(t *testing.T) {
 	}
 	if got := b.Published(); got != int64(publishers*perPub) {
 		t.Errorf("Published = %d", got)
+	}
+}
+
+func TestPublishAtomsDeliversStructurally(t *testing.T) {
+	for name, b := range brokers(t) {
+		t.Run(name, func(t *testing.T) {
+			sub, err := b.Subscribe("sa.T1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []hocl.Atom{hocl.Tuple{hocl.Ident("RES"), hocl.NewSolution(hocl.Int(42))}}
+			if err := b.PublishAtoms("sa.T1", payload); err != nil {
+				t.Fatal(err)
+			}
+			m := <-sub.C()
+			if !m.Structural() {
+				t.Fatal("message is not structural")
+			}
+			if len(m.Atoms) != 1 || !m.Atoms[0].Equal(payload[0]) {
+				t.Errorf("atoms = %v", m.Atoms)
+			}
+			if m.Payload != "" {
+				t.Errorf("structural message carries text %q", m.Payload)
+			}
+			if got := m.Text(); got != "RES:<42>" {
+				t.Errorf("Text() = %q, want RES:<42>", got)
+			}
+			if b.Published() != 1 {
+				t.Errorf("published = %d", b.Published())
+			}
+		})
+	}
+}
+
+func TestLogBrokerReplaysStructuralMessages(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewLogBroker(clock, 1e-9)
+	payload := []hocl.Atom{hocl.Ident("GOODATOM")}
+	if err := b.PublishAtoms("sa.T1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("sa.T1", "TEXTATOM"); err != nil {
+		t.Fatal(err)
+	}
+	log := b.Log("sa.T1")
+	if len(log) != 2 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	if !log[0].Structural() || !log[0].Atoms[0].Equal(hocl.Ident("GOODATOM")) {
+		t.Errorf("log[0] = %+v", log[0])
+	}
+	if log[0].Offset != 0 || log[1].Offset != 1 {
+		t.Errorf("offsets = %d, %d", log[0].Offset, log[1].Offset)
+	}
+	if log[1].Structural() || log[1].Payload != "TEXTATOM" {
+		t.Errorf("log[1] = %+v", log[1])
+	}
+	// Tampering with a returned log's atom slice must not corrupt the
+	// broker's retained history.
+	log[0].Atoms[0] = hocl.Ident("TAMPERED")
+	if got := b.Log("sa.T1")[0].Atoms[0]; !got.Equal(hocl.Ident("GOODATOM")) {
+		t.Errorf("log atom slice is not isolated: %v", got)
 	}
 }

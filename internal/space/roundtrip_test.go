@@ -1,0 +1,84 @@
+package space
+
+import (
+	"testing"
+
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+)
+
+// statusPayload builds a representative agent status push: a task tuple
+// carrying SRC/DST/SRV/IN/RES plus a TRIGGER marker.
+func statusPayload(t *testing.T) []hocl.Atom {
+	t.Helper()
+	sub := hoclflow.TaskAttrs{
+		Name: "T3", Src: []string{"T1"}, Dst: []string{"T4"}, Service: "s1",
+	}.SubSolution()
+	if tp, idx := sub.FindTuple(hoclflow.KeyRES); idx >= 0 {
+		tp[1].(*hocl.Solution).Add(hocl.Str("out-s1"), hocl.List{hocl.Int(1), hocl.Int(2)})
+	}
+	return []hocl.Atom{
+		hoclflow.TaskTuple("T3", sub),
+		hoclflow.TriggerMarker("a1"),
+	}
+}
+
+// TestStructuralAndTextualPayloadsEquivalent is the round-trip
+// equivalence guarantee of the zero-reparse path: folding a structural
+// payload into a space produces exactly the state that rendering the same
+// payload to text and re-parsing it produces.
+func TestStructuralAndTextualPayloadsEquivalent(t *testing.T) {
+	atoms := statusPayload(t)
+
+	structural := New()
+	if !structural.ApplyMessage(mq.Message{Atoms: atoms}) {
+		t.Fatal("structural payload rejected")
+	}
+	textual := New()
+	if !textual.ApplyMessage(mq.Message{Payload: hocl.FormatMolecules(atoms)}) {
+		t.Fatal("textual payload rejected")
+	}
+
+	if s, x := structural.Status("T3"), textual.Status("T3"); s != x {
+		t.Errorf("status diverged: structural=%v textual=%v", s, x)
+	}
+	sres, xres := structural.Results("T3"), textual.Results("T3")
+	if len(sres) != len(xres) {
+		t.Fatalf("result count diverged: %d vs %d", len(sres), len(xres))
+	}
+	for i := range sres {
+		if !sres[i].Equal(xres[i]) {
+			t.Errorf("result %d diverged: %v vs %v", i, sres[i], xres[i])
+		}
+	}
+	if s, x := structural.Triggered(), textual.Triggered(); len(s) != 1 || len(x) != 1 || s[0] != x[0] {
+		t.Errorf("triggers diverged: %v vs %v", s, x)
+	}
+	if !structural.Snapshot().Equal(textual.Snapshot()) {
+		t.Errorf("global snapshots diverged:\n%v\nvs\n%v", structural.Snapshot(), textual.Snapshot())
+	}
+}
+
+// TestStructuralApplyDoesNotAliasMutations pins the freeze contract from
+// the consumer side: a snapshot taken from the space stays stable even if
+// the snapshot's caller mutates it.
+func TestSnapshotIsCopyOnWrite(t *testing.T) {
+	sp := New()
+	if !sp.ApplyMessage(mq.Message{Atoms: statusPayload(t)}) {
+		t.Fatal("payload rejected")
+	}
+	before := sp.Snapshot().String()
+	snap := sp.Snapshot()
+	snap.Add(hocl.Ident("EXTRA"))
+	for _, a := range snap.Atoms() {
+		if tp, ok := a.(hocl.Tuple); ok && len(tp) == 2 {
+			if sub, ok := tp[1].(*hocl.Solution); ok {
+				sub.Add(hocl.Ident("DEEP"))
+			}
+		}
+	}
+	if got := sp.Snapshot().String(); got != before {
+		t.Errorf("mutating a snapshot leaked into the space:\n%s\nwant\n%s", got, before)
+	}
+}

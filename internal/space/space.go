@@ -75,7 +75,9 @@ func (s *Space) Status(name string) hoclflow.Status {
 	return hoclflow.StatusOf(sub)
 }
 
-// Results returns the task's recorded RES contents.
+// Results returns the task's recorded RES contents. The atoms are shared
+// by reference (status payloads are frozen); the caller must not mutate
+// them.
 func (s *Space) Results(name string) []hocl.Atom {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -83,22 +85,19 @@ func (s *Space) Results(name string) []hocl.Atom {
 	if !ok {
 		return nil
 	}
-	var out []hocl.Atom
-	for _, a := range hoclflow.Results(sub) {
-		out = append(out, a.Clone())
+	res := hoclflow.Results(sub)
+	if res == nil {
+		return nil
 	}
-	return out
+	return append([]hocl.Atom(nil), res...)
 }
 
-// Markers returns the recorded global molecules.
+// Markers returns the recorded global molecules, shared by reference;
+// the caller must not mutate them.
 func (s *Space) Markers() []hocl.Atom {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]hocl.Atom, len(s.markers))
-	for i, a := range s.markers {
-		out[i] = a.Clone()
-	}
-	return out
+	return append([]hocl.Atom(nil), s.markers...)
 }
 
 // Triggered returns the adaptation IDs whose TRIGGER markers have been
@@ -125,15 +124,17 @@ func (s *Space) Triggered() []string {
 
 // Snapshot renders the space as a global multiset: task tuples plus
 // markers — the distributed analogue of the centralized global solution.
+// The result is a copy-on-write snapshot: the caller may mutate (even
+// reduce) it freely without affecting the space.
 func (s *Space) Snapshot() *hocl.Solution {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	global := hocl.NewSolution()
 	for name, sub := range s.tasks {
-		global.Add(hocl.Tuple{hocl.Ident(name), sub.CloneSolution()})
+		global.Add(hocl.Tuple{hocl.Ident(name), sub.SnapshotSolution()})
 	}
 	for _, m := range s.markers {
-		global.Add(m.Clone())
+		global.Add(hocl.Snapshot(m))
 	}
 	return global
 }
@@ -212,13 +213,24 @@ func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error
 		case <-ctx.Done():
 			return ctx.Err()
 		case msg := <-sub.C():
-			s.Apply(msg.Payload)
+			s.ApplyMessage(msg)
 		}
 	}
 }
 
-// Apply folds one status payload into the space, reporting whether it
-// parsed.
+// ApplyMessage folds one status message into the space, reporting
+// whether it decoded. Structural payloads are stored by reference — the
+// zero-reparse path; textual payloads are parsed first.
+func (s *Space) ApplyMessage(msg mq.Message) bool {
+	if msg.Structural() {
+		s.applyAtoms(msg.Atoms)
+		return true
+	}
+	return s.Apply(msg.Payload)
+}
+
+// Apply folds one textual status payload into the space, reporting
+// whether it parsed.
 func (s *Space) Apply(payload string) bool {
 	atoms, err := hocl.ParseMolecules(payload)
 	if err != nil {
@@ -227,6 +239,15 @@ func (s *Space) Apply(payload string) bool {
 		s.mu.Unlock()
 		return false
 	}
+	s.applyAtoms(atoms)
+	return true
+}
+
+// applyAtoms routes each molecule: task tuples (Name:<...>) replace the
+// task's recorded sub-solution, anything else is recorded as a marker.
+// The space never mutates stored atoms, so sharing them with the
+// publisher and other consumers is safe.
+func (s *Space) applyAtoms(atoms []hocl.Atom) {
 	for _, a := range atoms {
 		if tp, ok := a.(hocl.Tuple); ok && len(tp) == 2 {
 			if name, ok := tp[0].(hocl.Ident); ok {
@@ -238,7 +259,6 @@ func (s *Space) Apply(payload string) bool {
 		}
 		s.AddMarker(a)
 	}
-	return true
 }
 
 // Malformed returns the number of undecodable payloads seen.
