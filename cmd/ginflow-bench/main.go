@@ -7,6 +7,9 @@
 //	ginflow-bench -fig 14     executor × middleware comparison (Fig. 14)
 //	ginflow-bench -fig 15     Montage shape and duration CDF (Fig. 15)
 //	ginflow-bench -fig 16     resilience under failure injection (Fig. 16)
+//	ginflow-bench -fig sweep  diamond scaling sweep (8x8, 12x12, 16x16),
+//	                          standalone runs vs. one shared Manager
+//	                          multiplexing the whole sweep concurrently
 //	ginflow-bench -fig all    everything, in order
 //
 // Times are model seconds (1 model second costs -scale of real time;
@@ -32,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | sweep | all")
 		quick   = flag.Bool("quick", false, "reduced sweeps")
 		runs    = flag.Int("runs", 3, "repetitions for averaged experiments (paper: up to 10)")
 		scale   = flag.Duration("scale", time.Millisecond, "real time per model second")
@@ -66,6 +69,10 @@ func run() error {
 			err = bench.Fig15(opts)
 		case "16":
 			_, _, err = bench.Fig16(opts)
+		case "sweep":
+			if _, _, err = bench.DiamondSweep(opts, nil, false); err == nil {
+				_, _, err = bench.DiamondSweep(opts, nil, true)
+			}
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -79,7 +86,7 @@ func run() error {
 	if *fig != "all" {
 		return runFig(*fig)
 	}
-	for _, name := range []string{"12a", "12b", "13", "14", "15", "16"} {
+	for _, name := range []string{"12a", "12b", "13", "14", "15", "16", "sweep"} {
 		if err := runFig(name); err != nil {
 			return err
 		}

@@ -9,11 +9,17 @@
 // service of -task-duration model seconds; services listed in -fail
 // raise an execution exception (driving any declared adaptation).
 //
+// With -n N (N > 1) the CLI exercises the long-lived Manager API: the
+// workload is submitted N times concurrently to one shared engine —
+// one cluster, one broker, N topic-namespaced sessions — and each
+// session's report is printed as it completes.
+//
 // Examples:
 //
 //	ginflow -diamond 10x10 -executor mesos -broker kafka -nodes 15
 //	ginflow -file workflow.json -fail s2
 //	ginflow -montage -p 0.5 -T 15
+//	ginflow -diamond 6x6 -n 8
 package main
 
 import (
@@ -55,6 +61,8 @@ func run() error {
 
 		failureP = flag.Float64("p", 0, "agent crash probability per invocation (§V-D)")
 		failureT = flag.Float64("T", 0, "agent crash delay, model seconds after service start")
+
+		parallel = flag.Int("n", 1, "concurrent submissions of the workload through one shared Manager")
 
 		verbose   = flag.Bool("v", false, "print per-task statuses")
 		showTrace = flag.Bool("trace", false, "print the enactment timeline")
@@ -105,6 +113,10 @@ func run() error {
 		CollectTrace: *showTrace,
 	}
 
+	if *parallel > 1 {
+		return runParallel(os.Stdout, def, services, cfg, *parallel, *verbose)
+	}
+
 	report, err := ginflow.Run(context.Background(), def, services, cfg)
 	if report != nil {
 		printReport(os.Stdout, report, *verbose)
@@ -116,6 +128,65 @@ func run() error {
 		}
 	}
 	return err
+}
+
+// runParallel drives n concurrent submissions of the same workload
+// through one long-lived Manager, printing each session's report as it
+// completes plus an aggregate line.
+func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, n int, verbose bool) error {
+	opts := []ginflow.Option{
+		ginflow.WithExecutor(cfg.Executor),
+		ginflow.WithBroker(cfg.Broker),
+		ginflow.WithCluster(cfg.Cluster),
+		ginflow.WithFailureInjection(cfg.FailureP, cfg.FailureT),
+		ginflow.WithTimeout(cfg.Timeout),
+	}
+	if cfg.CollectTrace {
+		opts = append(opts, ginflow.WithTrace())
+	}
+	mgr, err := ginflow.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	started := time.Now()
+	handles := make([]*ginflow.Handle, n)
+	for i := range handles {
+		h, err := mgr.Submit(context.Background(), def, services)
+		if err != nil {
+			return fmt.Errorf("submit %d/%d: %w", i+1, n, err)
+		}
+		handles[i] = h
+	}
+	fmt.Fprintf(w, "submitted %d concurrent sessions to one manager\n", n)
+
+	var firstErr error
+	var execSum float64
+	completed := 0
+	for i, h := range handles {
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			fmt.Fprintf(w, "session %d: FAILED: %v\n", h.ID(), err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		execSum += rep.ExecTime
+		completed++
+		fmt.Fprintf(w, "session %d: %s\n", h.ID(), rep)
+		if verbose && i == 0 {
+			printReport(w, rep, true)
+		}
+	}
+	mean := 0.0
+	if completed > 0 {
+		mean = execSum / float64(completed)
+	}
+	fmt.Fprintf(w, "aggregate:   %d/%d sessions completed, mean exec %.1f model seconds, %.1fs wall real time\n",
+		completed, n, mean, time.Since(started).Seconds())
+	return firstErr
 }
 
 func buildWorkload(file, diamond string, fully, montageW bool, taskDuration, fail string) (*ginflow.Workflow, *ginflow.ServiceRegistry, error) {

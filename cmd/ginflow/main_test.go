@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ginflow"
 )
@@ -87,6 +88,31 @@ func TestBuildWorkloadErrors(t *testing.T) {
 	}
 	if _, _, err := buildWorkload("", "2x2", false, false, "abc", ""); err == nil {
 		t.Error("bad duration accepted")
+	}
+}
+
+// TestRunParallelSessions drives the -n mode end to end: several
+// concurrent submissions of one workload through one shared Manager.
+func TestRunParallelSessions(t *testing.T) {
+	def, services, err := buildWorkload("", "2x2", false, false, "0.1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ginflow.Config{
+		Executor: ginflow.ExecutorSSH,
+		Broker:   ginflow.BrokerActiveMQ,
+		Cluster:  ginflow.ClusterConfig{Nodes: 6, Scale: 50 * time.Microsecond},
+		Timeout:  30 * time.Second,
+	}
+	var buf bytes.Buffer
+	if err := runParallel(&buf, def, services, cfg, 3, false); err != nil {
+		t.Fatalf("runParallel: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, frag := range []string{"submitted 3 concurrent sessions", "session 1:", "session 3:", "aggregate:   3/3 sessions completed"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
 	}
 }
 

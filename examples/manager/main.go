@@ -1,0 +1,80 @@
+// Manager: the long-lived engine API. Where ginflow.Run enacts one
+// workflow on a throwaway platform (the paper's one-shot CLI shape),
+// a Manager owns one shared cluster and broker for its lifetime and
+// multiplexes concurrent workflow sessions over them, each in its own
+// topic namespace. This example submits several workflows at once,
+// streams live enactment events from one of them, and cancels another
+// mid-run.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ginflow"
+)
+
+func main() {
+	mgr, err := ginflow.New(
+		ginflow.WithExecutor(ginflow.ExecutorSSH),
+		ginflow.WithBroker(ginflow.BrokerActiveMQ),
+		ginflow.WithCluster(ginflow.ClusterConfig{Nodes: 8}),
+		ginflow.WithTimeout(30*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	services := ginflow.NewServiceRegistry()
+	services.RegisterNoop(1.0, "split", "work", "merge", "s")
+
+	// Submit a batch of diamonds; they run concurrently on the shared
+	// platform.
+	var handles []*ginflow.Handle
+	for i := 0; i < 3; i++ {
+		def := ginflow.Diamond(ginflow.DefaultDiamondSpec(3+i, 3, false))
+		h, err := mgr.Submit(context.Background(), def, services)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	fmt.Printf("submitted %d sessions, %d active\n", len(handles), mgr.Active())
+
+	// Observe the first session live: Events streams the enactment
+	// timeline (task completions, transfers, adaptations, crashes)
+	// while the run is in flight.
+	events := handles[0].Events()
+	go func() {
+		for e := range events {
+			if e.Kind == ginflow.EventTaskCompleted {
+				fmt.Printf("  [session %d live] %s completed at t=%.1fs\n",
+					handles[0].ID(), e.Task, e.At)
+			}
+		}
+	}()
+
+	// A long-running session can be cancelled with a cause.
+	slow, err := mgr.Submit(context.Background(), ginflow.Sequence(5, "s", "in"), services)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	slow.Cancel(errors.New("demo: operator abort"))
+	if _, err := slow.Wait(context.Background()); errors.Is(err, ginflow.ErrCancelled) {
+		fmt.Printf("session %d cancelled as requested\n", slow.ID())
+	}
+
+	// Collect the batch reports.
+	for _, h := range handles {
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session %d: %s\n", h.ID(), rep)
+	}
+}

@@ -18,13 +18,28 @@
 //
 // # Quick start
 //
+// The primary API is the long-lived Manager: build it once, then submit
+// any number of concurrent workflow sessions against its shared
+// platform. Each submission returns a Handle for waiting, live status,
+// cancellation and event streaming:
+//
+//	mgr, err := ginflow.New(
+//		ginflow.WithExecutor(ginflow.ExecutorSSH),
+//		ginflow.WithBroker(ginflow.BrokerActiveMQ),
+//	)
+//	defer mgr.Close()
+//
 //	def := ginflow.Diamond(ginflow.DefaultDiamondSpec(3, 3, false))
 //	services := ginflow.NewServiceRegistry()
 //	services.RegisterNoop(1.0, "split", "work", "merge")
-//	report, err := ginflow.Run(context.Background(), def, services, ginflow.Config{
-//		Executor: ginflow.ExecutorSSH,
-//		Broker:   ginflow.BrokerActiveMQ,
-//	})
+//
+//	handle, err := mgr.Submit(context.Background(), def, services)
+//	report, err := handle.Wait(context.Background())
+//
+// Concurrent sessions multiplex over one cluster and broker; each runs
+// in its own topic namespace, so their molecules never mix. For the
+// paper's one-shot shape, Run remains: it builds a throwaway manager,
+// submits and waits.
 //
 // The package is a façade over the implementation packages under
 // internal/; every type needed by a client is re-exported here.
@@ -32,6 +47,7 @@ package ginflow
 
 import (
 	"context"
+	"time"
 
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
@@ -42,6 +58,7 @@ import (
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
 	"ginflow/internal/templates"
+	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
 )
 
@@ -106,8 +123,176 @@ const (
 	StatusFailed    = hoclflow.StatusFailed
 )
 
+// Event streaming. Handle.Events delivers the enactment timeline live —
+// task lifecycle, service invocations, result transfers, adaptation
+// triggers, crashes and recoveries — replacing the collect-then-read
+// Report.Events slice as the observation path for running workflows.
+type (
+	// Event is one enactment-timeline entry (model-time stamped).
+	Event = trace.Event
+	// EventKind classifies an event.
+	EventKind = trace.Kind
+)
+
+// Event kinds, in rough lifecycle order.
+const (
+	EventAgentStarted     = trace.AgentStarted
+	EventServiceInvoked   = trace.ServiceInvoked
+	EventServiceCompleted = trace.ServiceCompleted
+	EventServiceErrored   = trace.ServiceErrored
+	EventResultSent       = trace.ResultSent
+	EventAdaptTriggered   = trace.AdaptTriggered
+	EventAgentCrashed     = trace.AgentCrashed
+	EventAgentRecovered   = trace.AgentRecovered
+	EventTaskCompleted    = trace.TaskCompleted
+)
+
+// Sentinel errors of the Manager API, matchable with errors.Is.
+var (
+	// ErrStalled reports a session that did not complete inside its
+	// timeout: some exit task never reached StatusCompleted.
+	ErrStalled = core.ErrStalled
+	// ErrCancelled reports a session stopped by Handle.Cancel or by
+	// cancellation of the submitting context.
+	ErrCancelled = core.ErrCancelled
+	// ErrUnknownService reports a submission referencing a service
+	// missing from the registry; Submit fails fast, before deployment.
+	ErrUnknownService = core.ErrUnknownService
+	// ErrManagerClosed reports a submission to a closed Manager.
+	ErrManagerClosed = core.ErrManagerClosed
+)
+
+// Option configures a Manager. Options cover the same ground as the
+// Config struct consumed by Run; the Manager constructor takes options
+// so configuration can grow without breaking callers.
+type Option func(*Config)
+
+// WithExecutor selects the executor (default ExecutorSSH).
+func WithExecutor(k ExecutorKind) Option { return func(c *Config) { c.Executor = k } }
+
+// WithBroker selects the messaging middleware (default BrokerActiveMQ).
+func WithBroker(k BrokerKind) Option { return func(c *Config) { c.Broker = k } }
+
+// WithCluster sizes the simulated platform.
+func WithCluster(cc ClusterConfig) Option { return func(c *Config) { c.Cluster = cc } }
+
+// WithFailureInjection sets the default fault-injection parameters
+// (§V-D): each service invocation crashes its agent with probability p
+// after t model seconds. Overridable per submission.
+func WithFailureInjection(p, t float64) Option {
+	return func(c *Config) { c.FailureP = p; c.FailureT = t }
+}
+
+// WithRestartDelay sets the modelled cost (model seconds) of respawning
+// a crashed agent.
+func WithRestartDelay(seconds float64) Option {
+	return func(c *Config) { c.RestartDelay = seconds }
+}
+
+// WithMaxRecoveries bounds total agent respawns per session.
+func WithMaxRecoveries(n int) Option { return func(c *Config) { c.MaxRecoveries = n } }
+
+// WithTimeout sets the default per-session real-time timeout.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithTrace retains each session's full event timeline in Report.Events
+// by default (live streaming via Handle.Events needs no option).
+func WithTrace() Option { return func(c *Config) { c.CollectTrace = true } }
+
+// SubmitOption tunes one submission.
+type SubmitOption = core.SubmitOption
+
+// SubmitTimeout bounds one session in real time, overriding the
+// manager's default.
+func SubmitTimeout(d time.Duration) SubmitOption { return core.SubmitTimeout(d) }
+
+// SubmitTrace retains this session's event timeline in Report.Events.
+func SubmitTrace() SubmitOption { return core.SubmitTrace() }
+
+// SubmitFailureInjection overrides the manager's fault-injection
+// parameters for one session.
+func SubmitFailureInjection(p, t float64) SubmitOption {
+	return core.SubmitFailureInjection(p, t)
+}
+
+// Manager is the long-lived workflow engine: one shared simulated
+// cluster, broker and executor serving any number of concurrent workflow
+// sessions, each in its own topic namespace. Create with New, submit
+// with Submit, shut down with Close.
+type Manager struct {
+	inner *core.Manager
+}
+
+// New builds a Manager; its cluster, broker and executor live until
+// Close. Zero-option managers run SSH + ActiveMQ on the default
+// 25-node platform.
+func New(opts ...Option) (*Manager, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{inner: inner}, nil
+}
+
+// Submit starts a workflow session and returns its handle immediately;
+// deployment and enactment proceed in the background. The submitting
+// context bounds the session: cancelling it cancels the run. Service
+// bindings are validated up front (ErrUnknownService).
+func (m *Manager) Submit(ctx context.Context, def *Workflow, services *ServiceRegistry, opts ...SubmitOption) (*Handle, error) {
+	s, err := m.inner.Submit(ctx, def, services, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{s: s}, nil
+}
+
+// Active returns the number of sessions currently running.
+func (m *Manager) Active() int { return m.inner.Active() }
+
+// Close cancels every active session, waits for them to release their
+// resources and shuts the shared broker down.
+func (m *Manager) Close() error { return m.inner.Close() }
+
+// Handle observes and controls one submitted workflow session.
+type Handle struct {
+	s *core.Session
+}
+
+// ID returns the session's manager-unique identifier.
+func (h *Handle) ID() int64 { return h.s.ID() }
+
+// Wait blocks until the session completes (or ctx ends) and returns the
+// run report. A report is returned even when the run failed, so callers
+// can inspect partial progress; the error matches ErrStalled /
+// ErrCancelled via errors.Is where applicable.
+func (h *Handle) Wait(ctx context.Context) (*Report, error) { return h.s.Wait(ctx) }
+
+// Done returns a channel closed when the session has finished.
+func (h *Handle) Done() <-chan struct{} { return h.s.Done() }
+
+// Cancel stops the session; Wait returns an error matching ErrCancelled
+// (wrapping cause when non-nil). Cancelling a finished session is a
+// no-op.
+func (h *Handle) Cancel(cause error) { h.s.Cancel(cause) }
+
+// Status reports the live per-task statuses (StatusIdle for tasks that
+// have not reported yet); after completion it reflects the final report.
+func (h *Handle) Status() map[string]TaskStatus { return h.s.Status() }
+
+// Events returns a live, typed stream of the session's enactment
+// events. Delivery is non-blocking — a subscriber that stops draining
+// loses events rather than stalling agents — and the channel closes when
+// the session finishes.
+func (h *Handle) Events() <-chan Event { return h.s.Events() }
+
 // Run executes a workflow with the given services under the given
-// configuration and returns the run report.
+// configuration and returns the run report: the single-shot
+// compatibility path, equivalent to New + Submit + Wait on a throwaway
+// Manager.
 func Run(ctx context.Context, def *Workflow, services *ServiceRegistry, cfg Config) (*Report, error) {
 	return core.Run(ctx, def, services, cfg)
 }

@@ -87,6 +87,10 @@ type Agent struct {
 	engine *hocl.Engine
 	rng    *rand.Rand
 	sub    *mq.Subscription
+	// runCtx is the context of the active Run, consulted by invoke so a
+	// cancelled agent abandons its in-flight modelled invocation instead
+	// of sleeping it out.
+	runCtx context.Context
 
 	// lastPush fingerprints the last status payload pushed to the space
 	// (hocl.Fingerprint over the stripped sub-solution), so unchanged
@@ -136,6 +140,17 @@ func (a *Agent) Reductions() int64 { return a.reductions.Load() }
 func (a *Agent) Local() *hocl.Solution { return a.local }
 
 func (a *Agent) clock() *cluster.Clock { return a.cfg.Cluster.Clock() }
+
+// sleep charges a modelled duration, interruptible by the active Run's
+// context: a cancelled agent abandons the invocation mid-sleep, so
+// session teardown never waits out long in-flight services.
+func (a *Agent) sleep(modelSeconds float64) error {
+	ctx := a.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return a.clock().SleepCtx(ctx, modelSeconds)
+}
 
 func (a *Agent) inboxTopic() string { return Topic(a.cfg.TopicPrefix, a.name) }
 
@@ -192,11 +207,15 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 	if plan := a.cfg.Injector.Next(); plan.Crash && plan.After <= dur {
 		// The failure hits while the service is still running (§V-D:
 		// only services whose duration exceeds T are at risk).
-		a.clock().Sleep(plan.After)
+		if err := a.sleep(plan.After); err != nil {
+			return nil, err
+		}
 		a.cfg.Trace.Record(trace.AgentCrashed, a.name, a.cfg.Incarnation, string(svcName))
 		return nil, &CrashError{Task: a.name, Incarnation: a.cfg.Incarnation, At: a.clock().Now()}
 	}
-	a.clock().Sleep(dur)
+	if err := a.sleep(dur); err != nil {
+		return nil, err
+	}
 
 	result, err := svc.Invoke(params)
 	if err != nil {
@@ -363,6 +382,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	if err := a.Subscribe(); err != nil {
 		return err
 	}
+	a.runCtx = ctx
 	sub := a.sub
 	defer sub.Cancel()
 

@@ -152,6 +152,114 @@ func Fig12(opts Options, fully bool) ([]Fig12Point, error) {
 	return points, nil
 }
 
+// --- Diamond scaling sweep (beyond the paper's grid) -----------------------
+
+// SweepPoint is one cell of the diamond scaling sweep.
+type SweepPoint struct {
+	N    int     // mesh is N×N
+	Exec float64 // mean execution time, model seconds
+}
+
+// SweepSizes returns the default scaling-sweep mesh sizes.
+func SweepSizes(quick bool) []int {
+	if quick {
+		return []int{4, 6}
+	}
+	return []int{8, 12, 16}
+}
+
+// DiamondSweep measures N×N simple-connected diamonds at the given
+// sizes on 25 nodes over SSH + ActiveMQ.
+//
+// With shared=false each run gets a throwaway engine (the paper's
+// one-workflow-per-invocation shape). With shared=true the whole sweep
+// fans through one long-lived core.Manager per repetition: all sizes are
+// submitted concurrently and multiplex over one cluster and broker in
+// separate topic namespaces — the scaling shape the Manager API exists
+// for. The returned wall duration covers the whole sweep.
+func DiamondSweep(opts Options, sizes []int, shared bool) ([]SweepPoint, time.Duration, error) {
+	opts = opts.withDefaults()
+	if len(sizes) == 0 {
+		sizes = SweepSizes(opts.Quick)
+	}
+	mode := "standalone runs"
+	if shared {
+		mode = "one shared Manager, concurrent sessions"
+	}
+	fmt.Fprintf(opts.Out, "# Diamond scaling sweep (%s; model seconds, mean of %d runs)\n", mode, opts.Runs)
+	fmt.Fprintf(opts.Out, "%-8s %12s\n", "mesh", "exec(s)")
+
+	started := time.Now()
+	sums := make([]float64, len(sizes))
+	for run := 0; run < opts.Runs; run++ {
+		if shared {
+			execs, err := sweepThroughManager(opts, sizes, opts.Seed+int64(run))
+			if err != nil {
+				return nil, time.Since(started), err
+			}
+			for i, e := range execs {
+				sums[i] += e
+			}
+			continue
+		}
+		for i, n := range sizes {
+			def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
+			rep, err := runOnce(opts, def, diamondServices(), core.Config{
+				Executor: executor.KindSSH,
+				Broker:   mq.KindQueue,
+				Cluster:  opts.clusterConfig(25, opts.Seed+int64(run)),
+			})
+			if err != nil {
+				return nil, time.Since(started), fmt.Errorf("sweep %dx%d: %w", n, n, err)
+			}
+			sums[i] += rep.ExecTime
+		}
+	}
+	wall := time.Since(started)
+
+	points := make([]SweepPoint, len(sizes))
+	for i, n := range sizes {
+		points[i] = SweepPoint{N: n, Exec: sums[i] / float64(opts.Runs)}
+		fmt.Fprintf(opts.Out, "%-8s %12.1f\n", fmt.Sprintf("%dx%d", n, n), points[i].Exec)
+	}
+	fmt.Fprintf(opts.Out, "(sweep wall time: %.1fs real)\n", wall.Seconds())
+	return points, wall, nil
+}
+
+// sweepThroughManager submits every sweep size concurrently to one
+// long-lived Manager and returns the per-size execution times.
+func sweepThroughManager(opts Options, sizes []int, seed int64) ([]float64, error) {
+	m, err := core.NewManager(core.Config{
+		Executor: executor.KindSSH,
+		Broker:   mq.KindQueue,
+		Cluster:  opts.clusterConfig(25, seed),
+		Timeout:  opts.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	sessions := make([]*core.Session, len(sizes))
+	for i, n := range sizes {
+		def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
+		s, err := m.Submit(context.Background(), def, diamondServices())
+		if err != nil {
+			return nil, fmt.Errorf("sweep submit %dx%d: %w", n, n, err)
+		}
+		sessions[i] = s
+	}
+	execs := make([]float64, len(sizes))
+	for i, s := range sessions {
+		rep, err := s.Wait(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("sweep %dx%d: %w", sizes[i], sizes[i], err)
+		}
+		execs[i] = rep.ExecTime
+	}
+	return execs, nil
+}
+
 // --- Fig. 13: adaptiveness ratio ------------------------------------------
 
 // Fig13Scenario names the three replacement scenarios of §V-B.

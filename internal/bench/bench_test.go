@@ -52,6 +52,43 @@ func TestFig12QuickShape(t *testing.T) {
 	}
 }
 
+// TestDiamondSweepQuick runs the scaling sweep in both modes on the
+// reduced grid: standalone runs and the whole sweep fanned through one
+// shared Manager, which must produce per-size results of the same shape.
+func TestDiamondSweepQuick(t *testing.T) {
+	var buf bytes.Buffer
+	standalone, _, err := DiamondSweep(quickOpts(&buf), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, _, err := DiamondSweep(quickOpts(&buf), nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := SweepSizes(true)
+	if len(standalone) != len(sizes) || len(shared) != len(sizes) {
+		t.Fatalf("points: standalone=%d shared=%d, want %d", len(standalone), len(shared), len(sizes))
+	}
+	for i := range sizes {
+		if standalone[i].N != sizes[i] || shared[i].N != sizes[i] {
+			t.Errorf("size order: standalone=%v shared=%v", standalone, shared)
+		}
+		if standalone[i].Exec <= 0 || shared[i].Exec <= 0 {
+			t.Errorf("non-positive exec at %dx%d", sizes[i], sizes[i])
+		}
+	}
+	// Bigger meshes take longer when run back to back. (No such
+	// monotonicity holds in shared mode: concurrent sessions contend on
+	// the one middleware, so a small mesh can queue behind a big one.)
+	last := len(sizes) - 1
+	if standalone[last].Exec <= standalone[0].Exec {
+		t.Errorf("standalone sweep not scaling: %v", standalone)
+	}
+	if !strings.Contains(buf.String(), "shared Manager") {
+		t.Errorf("output header missing:\n%s", buf.String())
+	}
+}
+
 func TestFig12FullyConnectedCostsMore(t *testing.T) {
 	// A wide, shallow diamond separates the two flavours structurally:
 	// 20x4 fully connected pushes 400 messages per layer boundary through

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -46,6 +47,24 @@ func (c *Clock) Sleep(modelSeconds float64) {
 		return
 	}
 	time.Sleep(time.Duration(modelSeconds * float64(c.scale)))
+}
+
+// SleepCtx blocks like Sleep but returns early with ctx.Err() when the
+// context ends first — the interruption point that lets a cancelled
+// workflow session release its agents without draining their in-flight
+// modelled invocations.
+func (c *Clock) SleepCtx(ctx context.Context, modelSeconds float64) error {
+	if modelSeconds <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(time.Duration(modelSeconds * float64(c.scale)))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Now returns the model seconds elapsed since the clock was created.

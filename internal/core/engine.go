@@ -1,34 +1,39 @@
 // Package core implements the GinFlow engine: the paper's contribution
-// assembled. It translates a workflow definition to HOCL, provisions
-// service agents on the simulated platform through an executor, wires
-// them to a message broker and the shared space, supervises them
+// assembled. A long-lived Manager owns the shared platform — the
+// simulated cluster, the message broker and the executor — and
+// multiplexes any number of concurrent workflow Sessions over it. Each
+// session translates its workflow definition to HOCL, provisions service
+// agents through the executor, wires them to the broker and a
+// per-session shared space under a per-session topic namespace (so
+// concurrent runs' molecules never cross), supervises the agents
 // (respawning crashed agents with log replay, §IV-B), and reports the
 // run: deployment time, execution time, failures, recoveries, triggered
-// adaptations and results — the quantities the paper's evaluation
-// (§V) is built from.
+// adaptations and results — the quantities the paper's evaluation (§V)
+// is built from.
+//
+// Run is the single-shot compatibility path: it builds a manager,
+// submits one session and waits — exactly the paper's one-workflow-per-
+// invocation shape, expressed through the long-lived API.
 package core
 
 import (
 	"context"
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
 	"ginflow/internal/executor"
-	"ginflow/internal/failure"
-	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/mq"
-	"ginflow/internal/space"
 	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
 )
 
 // Config selects the run environment, mirroring the paper's CLI options
-// ("executor, messaging framework, credentials, etc.", §IV-D).
+// ("executor, messaging framework, credentials, etc.", §IV-D). A Config
+// parameterises a Manager; the ginflow façade builds one from
+// functional options.
 type Config struct {
 	// Executor: ssh, mesos or centralized (default ssh).
 	Executor executor.Kind
@@ -53,11 +58,13 @@ type Config struct {
 	// MaxRecoveries bounds total respawns, a runaway guard (default 100000).
 	MaxRecoveries int
 
-	// Timeout bounds the whole run in real time (default 120 s).
+	// Timeout bounds each session in real time (default 120 s);
+	// overridable per submission with SubmitTimeout.
 	Timeout time.Duration
 
 	// CollectTrace records the enactment timeline (agent lifecycle,
 	// invocations, transfers, adaptations, crashes) into Report.Events.
+	// Live event streaming (Session.Events) works regardless.
 	CollectTrace bool
 }
 
@@ -102,7 +109,8 @@ type Report struct {
 	Statuses    map[string]hoclflow.Status
 	Results     map[string][]string // exit task -> rendered result atoms
 
-	// Events is the enactment timeline (only when Config.CollectTrace).
+	// Events is the enactment timeline (only when Config.CollectTrace or
+	// SubmitTrace).
 	Events []trace.Event
 }
 
@@ -113,253 +121,18 @@ func (r *Report) String() string {
 		r.Failures, r.Recoveries, r.Messages, r.Adaptations)
 }
 
-// Run executes the workflow on the configured environment and returns
-// the run report.
+// Run executes one workflow on a throwaway environment and returns the
+// run report: a compatibility wrapper over the long-lived Manager API
+// (new manager, submit, wait).
 func Run(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
-	defer cancel()
-
-	if cfg.Executor == executor.KindCentralized {
-		return runCentralized(ctx, def, services, cfg)
-	}
-	return runDistributed(ctx, def, services, cfg)
-}
-
-// runCentralized executes the whole workflow on a single HOCL
-// interpreter over the global multiset — the §III semantics, useful as a
-// baseline and for debugging (the paper's "centralized executor").
-func runCentralized(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
-	prog, err := def.TranslateCentral()
+	m, err := NewManager(cfg)
 	if err != nil {
 		return nil, err
 	}
-	clus := cluster.New(cfg.Cluster)
-	clock := clus.Clock()
-	rng := clus.Rand()
-
-	eng := hocl.NewEngine()
-	eng.Funcs.Register(hoclflow.FnInvoke, func(args []hocl.Atom) ([]hocl.Atom, error) {
-		name, ok := args[0].(hocl.Str)
-		if !ok {
-			return nil, fmt.Errorf("invoke: bad service name %v", args[0])
-		}
-		svc, ok := services.Lookup(string(name))
-		if !ok {
-			return nil, fmt.Errorf("invoke: unknown service %q", name)
-		}
-		var params []hocl.Atom
-		if len(args) > 1 {
-			if l, ok := args[1].(hocl.List); ok {
-				params = l
-			}
-		}
-		clock.Sleep(svc.InvocationDuration(rng))
-		res, err := svc.Invoke(params)
-		if err != nil {
-			return []hocl.Atom{hoclflow.AtomERROR}, nil
-		}
-		return []hocl.Atom{res}, nil
-	})
-	for name, fn := range prog.Funcs {
-		eng.Funcs.Register(name, fn)
-	}
-
-	start := clock.Now()
-	if err := eng.Reduce(prog.Global); err != nil {
-		return nil, err
-	}
-	execTime := clock.Now() - start
-
-	rep := &Report{
-		Workflow: def.Name,
-		Executor: string(executor.KindCentralized),
-		Broker:   "none",
-		Tasks:    def.TaskCount(),
-		Agents:   0,
-		Nodes:    len(clus.Nodes()),
-		ExecTime: execTime, TotalTime: execTime,
-		Statuses: map[string]hoclflow.Status{},
-		Results:  map[string][]string{},
-	}
-	for _, id := range def.AllTaskIDs() {
-		if sub := hoclflow.FindTaskSub(prog.Global, id); sub != nil {
-			rep.Statuses[id] = hoclflow.StatusOf(sub)
-		}
-	}
-	for _, exit := range def.Exits() {
-		sub := hoclflow.FindTaskSub(prog.Global, exit)
-		if sub == nil {
-			continue
-		}
-		for _, a := range hoclflow.Results(sub) {
-			rep.Results[exit] = append(rep.Results[exit], a.String())
-		}
-		if rep.Statuses[exit] != hoclflow.StatusCompleted {
-			return rep, fmt.Errorf("core: workflow stalled: exit task %s is %v", exit, rep.Statuses[exit])
-		}
-	}
-	for _, m := range prog.Global.Atoms() {
-		if tp, ok := m.(hocl.Tuple); ok && len(tp) == 2 && tp[0].Equal(hoclflow.KeyTRIGGER) {
-			if id, ok := tp[1].(hocl.Str); ok {
-				rep.Adaptations = append(rep.Adaptations, string(id))
-			}
-		}
-	}
-	sort.Strings(rep.Adaptations)
-	return rep, nil
-}
-
-// runDistributed provisions agents through the executor and runs the
-// decentralised engine.
-func runDistributed(ctx context.Context, def *workflow.Definition, services *agent.Registry, cfg Config) (*Report, error) {
-	specs, err := def.TranslateAgents()
+	defer m.Close()
+	s, err := m.Submit(ctx, def, services)
 	if err != nil {
 		return nil, err
 	}
-	exec, err := executorFor(cfg)
-	if err != nil {
-		return nil, err
-	}
-	clus := cluster.New(cfg.Cluster)
-	clock := clus.Clock()
-	broker, err := mq.NewBroker(cfg.Broker, clock)
-	if err != nil {
-		return nil, err
-	}
-	defer broker.Close()
-
-	// The space consumes status updates; attach before any agent runs.
-	sp := space.New()
-	if err := sp.Attach(broker, space.DefaultTopic); err != nil {
-		return nil, err
-	}
-	spaceCtx, stopSpace := context.WithCancel(context.Background())
-	defer stopSpace()
-	spaceFailed := make(chan error, 1)
-	go func() {
-		err := sp.Serve(spaceCtx, broker, space.DefaultTopic)
-		if err != nil && spaceCtx.Err() == nil {
-			spaceFailed <- err
-		}
-	}()
-
-	// Deployment (§IV-C): claim resources, place agents.
-	placements, deployTime, err := exec.Deploy(ctx, specs, clus)
-	if err != nil {
-		return nil, err
-	}
-	defer func() {
-		for _, p := range placements {
-			p.Node.Release()
-		}
-	}()
-
-	nodeOf := map[string]*cluster.Node{}
-	for _, p := range placements {
-		nodeOf[p.Spec.Task.Name] = p.Node
-	}
-
-	injector := failure.New(cfg.FailureP, cfg.FailureT, clus.Rand())
-
-	var recorder *trace.Recorder
-	if cfg.CollectTrace {
-		recorder = trace.NewRecorder(clock)
-	}
-
-	// Launch supervised agents. Every first incarnation subscribes
-	// before any agent starts reducing: a fast entry task must not
-	// publish results into the void (fatal on the volatile queue broker).
-	sup := &supervisor{
-		cluster: clus, broker: broker, services: services,
-		injector: injector, placements: nodeOf,
-		restartDelay: cfg.RestartDelay, maxRecoveries: cfg.MaxRecoveries,
-		recorder: recorder,
-	}
-	firstIncarnations := make([]*agent.Agent, len(placements))
-	for i, p := range placements {
-		a := sup.newAgent(p, 0)
-		if err := a.Subscribe(); err != nil {
-			return nil, err
-		}
-		firstIncarnations[i] = a
-	}
-
-	agentsCtx, stopAgents := context.WithCancel(ctx)
-	defer stopAgents()
-	execStart := clock.Now()
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(placements))
-	for i, p := range placements {
-		wg.Add(1)
-		go func(p executor.Placement, first *agent.Agent) {
-			defer wg.Done()
-			if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
-				errCh <- err
-			}
-		}(p, firstIncarnations[i])
-	}
-
-	// Wait for the exit tasks to report completion in the space.
-	waitErr := func() error {
-		done := make(chan error, 1)
-		go func() { done <- sp.WaitCompleted(ctx, def.Exits()) }()
-		select {
-		case err := <-done:
-			return err
-		case err := <-errCh:
-			return fmt.Errorf("core: agent failed: %w", err)
-		case err := <-spaceFailed:
-			return fmt.Errorf("core: space failed: %w", err)
-		}
-	}()
-	execTime := clock.Now() - execStart
-	stopAgents()
-	wg.Wait()
-
-	rep := &Report{
-		Workflow:   def.Name,
-		Executor:   exec.Name(),
-		Broker:     string(cfg.Broker),
-		Tasks:      def.TaskCount(),
-		Agents:     len(placements),
-		Nodes:      len(clus.Nodes()),
-		DeployTime: deployTime, ExecTime: execTime,
-		TotalTime:  deployTime + execTime,
-		Failures:   sup.failures(),
-		Recoveries: sup.recoveries(),
-		Messages:   broker.Published(),
-		Statuses:   map[string]hoclflow.Status{},
-		Results:    map[string][]string{},
-	}
-	rep.Adaptations = sp.Triggered()
-	rep.Events = recorder.Events()
-	for _, id := range def.AllTaskIDs() {
-		rep.Statuses[id] = sp.Status(id)
-	}
-	for _, exit := range def.Exits() {
-		for _, a := range sp.Results(exit) {
-			rep.Results[exit] = append(rep.Results[exit], a.String())
-		}
-	}
-	if waitErr != nil {
-		return rep, fmt.Errorf("core: workflow did not complete: %w", waitErr)
-	}
-	return rep, nil
-}
-
-func executorFor(cfg Config) (executor.Executor, error) {
-	switch cfg.Executor {
-	case executor.KindSSH:
-		ssh := cfg.SSH
-		return &ssh, nil
-	case executor.KindMesos:
-		m := cfg.Mesos
-		return &m, nil
-	case executor.KindEC2:
-		e := cfg.EC2
-		return &e, nil
-	default:
-		return nil, fmt.Errorf("core: unknown distributed executor %q", cfg.Executor)
-	}
+	return s.Wait(ctx)
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/executor"
+	"ginflow/internal/mq"
+	"ginflow/internal/workflow"
+)
+
+// Sentinel errors of the Manager API, matchable with errors.Is.
+var (
+	// ErrStalled reports a session that did not complete inside its
+	// timeout: some exit task never reached the completed status.
+	ErrStalled = errors.New("workflow stalled")
+	// ErrCancelled reports a session stopped by Session.Cancel (or by
+	// cancellation of the submitting context).
+	ErrCancelled = errors.New("workflow cancelled")
+	// ErrUnknownService reports a submission referencing a service the
+	// registry cannot resolve; Submit fails fast instead of deploying
+	// agents doomed to die mid-run.
+	ErrUnknownService = errors.New("unknown service")
+	// ErrManagerClosed reports a submission to a closed manager.
+	ErrManagerClosed = errors.New("manager closed")
+)
+
+// Manager is the long-lived engine: it owns one simulated platform, one
+// message broker and one executor for its whole lifetime and multiplexes
+// concurrent workflow sessions over them — the deploy-once/execute-many
+// shape of decentralised orchestration services, where the paper's
+// engine enacts one workflow per invocation. Each session gets a
+// distinct topic namespace on the shared broker ("wf<id>."), so the
+// molecules of concurrent runs never cross.
+type Manager struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	broker  mq.Broker
+	exec    executor.Executor // nil for the centralized executor
+
+	mu     sync.Mutex
+	closed bool
+	nextID int64
+	active map[int64]*Session
+	wg     sync.WaitGroup
+}
+
+// NewManager builds a manager from the config (zero values take
+// defaults). The cluster, broker and executor live until Close.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		cluster: cluster.New(cfg.Cluster),
+		active:  map[int64]*Session{},
+	}
+	if cfg.Executor != executor.KindCentralized {
+		exec, err := executorFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		broker, err := mq.NewBroker(cfg.Broker, m.cluster.Clock())
+		if err != nil {
+			return nil, err
+		}
+		m.exec = exec
+		m.broker = broker
+	}
+	return m, nil
+}
+
+// Cluster exposes the shared platform (tests and benchmarks assert on
+// slot accounting).
+func (m *Manager) Cluster() *cluster.Cluster { return m.cluster }
+
+// Broker exposes the shared broker (nil for centralized managers).
+func (m *Manager) Broker() mq.Broker { return m.broker }
+
+// Active returns the number of sessions currently running.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// SubmitConfig tunes one submission; built from SubmitOptions over the
+// manager's defaults.
+type SubmitConfig struct {
+	// Timeout bounds the session in real time (default Config.Timeout).
+	Timeout time.Duration
+	// CollectTrace retains the full event timeline in Report.Events for
+	// this session (default Config.CollectTrace).
+	CollectTrace bool
+	// FailureP / FailureT override the manager's fault injection for
+	// this session.
+	FailureP, FailureT float64
+}
+
+// SubmitOption tunes one submission.
+type SubmitOption func(*SubmitConfig)
+
+// SubmitTimeout bounds the session in real time.
+func SubmitTimeout(d time.Duration) SubmitOption {
+	return func(c *SubmitConfig) { c.Timeout = d }
+}
+
+// SubmitTrace retains the session's full event timeline in
+// Report.Events (live streaming via Session.Events needs no option).
+func SubmitTrace() SubmitOption {
+	return func(c *SubmitConfig) { c.CollectTrace = true }
+}
+
+// SubmitFailureInjection overrides the manager's fault-injection
+// parameters (§V-D) for this session.
+func SubmitFailureInjection(p, t float64) SubmitOption {
+	return func(c *SubmitConfig) { c.FailureP = p; c.FailureT = t }
+}
+
+// Submit starts a workflow session and returns its handle immediately;
+// deployment and enactment proceed in the background. The submitting
+// context bounds the whole session: cancelling it cancels the session.
+// Submit validates the service bindings up front — a task or replacement
+// task referencing a service the registry cannot resolve fails with
+// ErrUnknownService before anything deploys.
+func (m *Manager) Submit(ctx context.Context, def *workflow.Definition, services *agent.Registry, opts ...SubmitOption) (*Session, error) {
+	if def == nil {
+		return nil, fmt.Errorf("core: nil workflow definition")
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, ErrManagerClosed
+	}
+	if err := checkServices(def, services); err != nil {
+		return nil, err
+	}
+
+	sub := SubmitConfig{
+		Timeout:      m.cfg.Timeout,
+		CollectTrace: m.cfg.CollectTrace,
+		FailureP:     m.cfg.FailureP,
+		FailureT:     m.cfg.FailureT,
+	}
+	for _, opt := range opts {
+		opt(&sub)
+	}
+	if sub.Timeout <= 0 {
+		sub.Timeout = m.cfg.Timeout
+	}
+
+	// The session's cancel func must be in place before the session is
+	// visible in m.active: a concurrent Close cancels whatever it finds
+	// there.
+	runCtx, cancel := context.WithCancelCause(ctx)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel(ErrManagerClosed)
+		return nil, ErrManagerClosed
+	}
+	m.nextID++
+	s := newSession(m, m.nextID, def, services, sub)
+	s.cancel = cancel
+	m.active[s.id] = s
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		s.run(runCtx)
+	}()
+	return s, nil
+}
+
+// finish removes a completed session from the active set.
+func (m *Manager) finish(s *Session) {
+	m.mu.Lock()
+	delete(m.active, s.id)
+	m.mu.Unlock()
+}
+
+// Close cancels every active session, waits for them to unwind (nodes
+// released, topics purged) and shuts the broker down. Submissions after
+// Close fail with ErrManagerClosed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	active := make([]*Session, 0, len(m.active))
+	for _, s := range m.active {
+		active = append(active, s)
+	}
+	m.mu.Unlock()
+
+	for _, s := range active {
+		s.Cancel(ErrManagerClosed)
+	}
+	m.wg.Wait()
+	if m.broker != nil {
+		return m.broker.Close()
+	}
+	return nil
+}
+
+// checkServices resolves every service referenced by the workflow's
+// tasks and adaptation replacements against the registry.
+func checkServices(def *workflow.Definition, services *agent.Registry) error {
+	lookup := func(name, owner string) error {
+		if name == "" {
+			return nil
+		}
+		if services == nil {
+			return fmt.Errorf("core: task %s: %w %q (nil registry)", owner, ErrUnknownService, name)
+		}
+		if _, ok := services.Lookup(name); !ok {
+			return fmt.Errorf("core: task %s: %w %q", owner, ErrUnknownService, name)
+		}
+		return nil
+	}
+	for i := range def.Tasks {
+		if err := lookup(def.Tasks[i].Service, def.Tasks[i].ID); err != nil {
+			return err
+		}
+	}
+	for i := range def.Adaptations {
+		for j := range def.Adaptations[i].Replacement {
+			r := &def.Adaptations[i].Replacement[j]
+			if err := lookup(r.Service, r.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func executorFor(cfg Config) (executor.Executor, error) {
+	switch cfg.Executor {
+	case executor.KindSSH:
+		ssh := cfg.SSH
+		return &ssh, nil
+	case executor.KindMesos:
+		m := cfg.Mesos
+		return &m, nil
+	case executor.KindEC2:
+		e := cfg.EC2
+		return &e, nil
+	default:
+		return nil, fmt.Errorf("core: unknown distributed executor %q", cfg.Executor)
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ginflow/internal/agent"
+	"ginflow/internal/cluster"
+	"ginflow/internal/executor"
+	"ginflow/internal/failure"
+	"ginflow/internal/hocl"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/space"
+	"ginflow/internal/trace"
+	"ginflow/internal/workflow"
+)
+
+// Session is one workflow execution multiplexed onto a Manager's shared
+// platform. It owns everything per-run: the agents, their supervisor, a
+// private shared space, and a topic namespace ("wf<id>.") on the shared
+// broker that keeps its molecules apart from every concurrent session's.
+// A session is observed through Wait (the final report), Status (live
+// per-task statuses from the session space) and Events (a live, typed,
+// non-blocking event stream).
+type Session struct {
+	id       int64
+	prefix   string // topic namespace, e.g. "wf3."
+	def      *workflow.Definition
+	services *agent.Registry
+	mgr      *Manager
+	sub      SubmitConfig
+
+	space    *space.Space
+	recorder *trace.Recorder
+	hub      *eventHub
+	cancel   context.CancelCauseFunc
+
+	done chan struct{}
+
+	mu     sync.Mutex
+	report *Report
+	err    error
+}
+
+func newSession(m *Manager, id int64, def *workflow.Definition, services *agent.Registry, sub SubmitConfig) *Session {
+	s := &Session{
+		id:       id,
+		prefix:   fmt.Sprintf("wf%d.", id),
+		def:      def,
+		services: services,
+		mgr:      m,
+		sub:      sub,
+		space:    space.New(),
+		hub:      newEventHub(eventBuffer(def)),
+		done:     make(chan struct{}),
+	}
+	if sub.CollectTrace {
+		s.recorder = trace.NewRecorder(m.cluster.Clock())
+	} else {
+		s.recorder = trace.NewForwarder(m.cluster.Clock())
+	}
+	s.recorder.AddSink(s.hub.publish)
+	return s
+}
+
+// eventBuffer sizes a session's per-subscriber event buffer: the stream
+// is non-blocking (a full buffer drops), so it is sized to hold a whole
+// healthy run (~5 events per task) with headroom for recoveries.
+func eventBuffer(def *workflow.Definition) int {
+	n := 8*len(def.AllTaskIDs()) + 64
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+// ID returns the session's manager-unique identifier.
+func (s *Session) ID() int64 { return s.id }
+
+// TopicNamespace returns the session's broker topic prefix.
+func (s *Session) TopicNamespace() string { return s.prefix }
+
+// Cancel stops the session. Wait returns an error matching ErrCancelled
+// (also wrapping cause, when non-nil). Cancelling a finished session is
+// a no-op.
+func (s *Session) Cancel(cause error) {
+	switch {
+	case cause == nil:
+		s.cancel(ErrCancelled)
+	case errors.Is(cause, ErrCancelled):
+		s.cancel(cause)
+	default:
+		s.cancel(fmt.Errorf("%w: %w", ErrCancelled, cause))
+	}
+}
+
+// Wait blocks until the session completes (or ctx ends) and returns the
+// run report. Like the single-shot Run, a report is returned even when
+// the run failed, so callers can inspect partial progress; the error
+// matches ErrStalled / ErrCancelled via errors.Is where applicable.
+func (s *Session) Wait(ctx context.Context) (*Report, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.report, s.err
+	}
+}
+
+// Done returns a channel closed when the session has finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Status reports the live per-task statuses from the session's space
+// (idle for tasks that have not reported yet). After completion it
+// reflects the final report.
+func (s *Session) Status() map[string]hoclflow.Status {
+	s.mu.Lock()
+	rep := s.report
+	s.mu.Unlock()
+	out := map[string]hoclflow.Status{}
+	if rep != nil && rep.Statuses != nil {
+		for id, st := range rep.Statuses {
+			out[id] = st
+		}
+		return out
+	}
+	for _, id := range s.def.AllTaskIDs() {
+		out[id] = s.space.Status(id)
+	}
+	return out
+}
+
+// Events returns a live stream of the session's enactment events (task
+// lifecycle, service invocations, result transfers, adaptation triggers,
+// crashes, recoveries). Delivery is non-blocking: a subscriber that
+// stops draining loses events rather than stalling agents. The channel
+// is closed when the session finishes; subscribing to a finished session
+// yields an already-closed channel.
+func (s *Session) Events() <-chan trace.Event {
+	return s.hub.subscribe()
+}
+
+// run drives the session to completion and publishes the outcome.
+func (s *Session) run(ctx context.Context) {
+	tctx, cancel := context.WithTimeoutCause(ctx, s.sub.Timeout, ErrStalled)
+	defer cancel()
+
+	var rep *Report
+	var err error
+	if s.mgr.exec == nil {
+		rep, err = s.runCentralized(tctx)
+	} else {
+		rep, err = s.runDistributed(tctx)
+	}
+
+	s.mu.Lock()
+	s.report = rep
+	s.err = err
+	s.mu.Unlock()
+	s.hub.close()
+	s.mgr.finish(s)
+	close(s.done)
+}
+
+// classifyCause maps a context cause onto the API's sentinel errors.
+func classifyCause(cause error) error {
+	switch {
+	case cause == nil:
+		return nil
+	case errors.Is(cause, ErrStalled), errors.Is(cause, ErrCancelled):
+		return cause
+	case errors.Is(cause, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrStalled, cause)
+	default:
+		return fmt.Errorf("%w: %v", ErrCancelled, cause)
+	}
+}
+
+// runCentralized executes the whole workflow on a single HOCL
+// interpreter over the global multiset — the §III semantics, useful as a
+// baseline and for debugging (the paper's "centralized executor").
+func (s *Session) runCentralized(ctx context.Context) (*Report, error) {
+	def, services := s.def, s.services
+	prog, err := def.TranslateCentral()
+	if err != nil {
+		return nil, err
+	}
+	clus := s.mgr.cluster
+	clock := clus.Clock()
+	rng := clus.Rand()
+
+	eng := hocl.NewEngine()
+	eng.Funcs.Register(hoclflow.FnInvoke, func(args []hocl.Atom) ([]hocl.Atom, error) {
+		name, ok := args[0].(hocl.Str)
+		if !ok {
+			return nil, fmt.Errorf("invoke: bad service name %v", args[0])
+		}
+		svc, ok := services.Lookup(string(name))
+		if !ok {
+			return nil, fmt.Errorf("invoke: %w %q", ErrUnknownService, name)
+		}
+		var params []hocl.Atom
+		if len(args) > 1 {
+			if l, ok := args[1].(hocl.List); ok {
+				params = l
+			}
+		}
+		clock.Sleep(svc.InvocationDuration(rng))
+		res, err := svc.Invoke(params)
+		if err != nil {
+			return []hocl.Atom{hoclflow.AtomERROR}, nil
+		}
+		return []hocl.Atom{res}, nil
+	})
+	for name, fn := range prog.Funcs {
+		eng.Funcs.Register(name, fn)
+	}
+
+	start := clock.Now()
+	if err := eng.Reduce(prog.Global); err != nil {
+		return nil, err
+	}
+	execTime := clock.Now() - start
+
+	rep := &Report{
+		Workflow: def.Name,
+		Executor: string(executor.KindCentralized),
+		Broker:   "none",
+		Tasks:    def.TaskCount(),
+		Agents:   0,
+		Nodes:    len(clus.Nodes()),
+		ExecTime: execTime, TotalTime: execTime,
+		Statuses: map[string]hoclflow.Status{},
+		Results:  map[string][]string{},
+	}
+	for _, id := range def.AllTaskIDs() {
+		if sub := hoclflow.FindTaskSub(prog.Global, id); sub != nil {
+			rep.Statuses[id] = hoclflow.StatusOf(sub)
+		}
+	}
+	for _, exit := range def.Exits() {
+		sub := hoclflow.FindTaskSub(prog.Global, exit)
+		if sub == nil {
+			continue
+		}
+		for _, a := range hoclflow.Results(sub) {
+			rep.Results[exit] = append(rep.Results[exit], a.String())
+		}
+		if rep.Statuses[exit] != hoclflow.StatusCompleted {
+			return rep, fmt.Errorf("core: %w: exit task %s is %v", ErrStalled, exit, rep.Statuses[exit])
+		}
+	}
+	for _, m := range prog.Global.Atoms() {
+		if tp, ok := m.(hocl.Tuple); ok && len(tp) == 2 && tp[0].Equal(hoclflow.KeyTRIGGER) {
+			if id, ok := tp[1].(hocl.Str); ok {
+				rep.Adaptations = append(rep.Adaptations, string(id))
+			}
+		}
+	}
+	sort.Strings(rep.Adaptations)
+	if cause := classifyCause(context.Cause(ctx)); cause != nil {
+		// The single interpreter is not interruptible mid-reduction; a
+		// cancellation or timeout that raced the reduction still surfaces.
+		return rep, fmt.Errorf("core: workflow did not complete: %w", cause)
+	}
+	return rep, nil
+}
+
+// runDistributed provisions agents through the executor under the
+// session's topic namespace and runs the decentralised engine.
+func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
+	def, services, cfg := s.def, s.services, s.mgr.cfg
+	specs, err := def.TranslateAgents()
+	if err != nil {
+		return nil, err
+	}
+	clus := s.mgr.cluster
+	clock := clus.Clock()
+	broker := s.mgr.broker
+	spaceTopic := space.TopicFor(s.prefix)
+	topicPrefix := s.prefix + agent.DefaultTopicPrefix
+
+	// Whatever happens past this point, the session must not leave state
+	// behind on the shared platform: its broker topics are purged once
+	// the agents have stopped. (Node slots are released by their own
+	// defer below.)
+	defer broker.PurgeTopics(s.prefix)
+
+	// The space consumes status updates; attach before any agent runs.
+	sp := s.space
+	if err := sp.Attach(broker, spaceTopic); err != nil {
+		return nil, err
+	}
+	spaceCtx, stopSpace := context.WithCancel(context.Background())
+	defer stopSpace()
+	spaceFailed := make(chan error, 1)
+	go func() {
+		err := sp.Serve(spaceCtx, broker, spaceTopic)
+		if err != nil && spaceCtx.Err() == nil {
+			spaceFailed <- err
+		}
+	}()
+
+	// Deployment (§IV-C): claim resources, place agents.
+	placements, deployTime, err := s.mgr.exec.Deploy(ctx, specs, clus)
+	if err != nil {
+		if cause := classifyCause(context.Cause(ctx)); cause != nil {
+			return nil, fmt.Errorf("core: deployment aborted: %w", cause)
+		}
+		return nil, err
+	}
+	defer func() {
+		for _, p := range placements {
+			p.Node.Release()
+		}
+	}()
+
+	nodeOf := map[string]*cluster.Node{}
+	for _, p := range placements {
+		nodeOf[p.Spec.Task.Name] = p.Node
+	}
+
+	injector := failure.New(s.sub.FailureP, s.sub.FailureT, clus.Rand())
+
+	// Launch supervised agents. Every first incarnation subscribes
+	// before any agent starts reducing: a fast entry task must not
+	// publish results into the void (fatal on the volatile queue broker).
+	sup := &supervisor{
+		cluster: clus, broker: broker, services: services,
+		injector: injector, placements: nodeOf,
+		topicPrefix: topicPrefix, spaceTopic: spaceTopic,
+		restartDelay: cfg.RestartDelay, maxRecoveries: cfg.MaxRecoveries,
+		recorder: s.recorder,
+	}
+	firstIncarnations := make([]*agent.Agent, len(placements))
+	for i, p := range placements {
+		a := sup.newAgent(p, 0)
+		if err := a.Subscribe(); err != nil {
+			return nil, err
+		}
+		firstIncarnations[i] = a
+	}
+
+	agentsCtx, stopAgents := context.WithCancel(ctx)
+	defer stopAgents()
+	execStart := clock.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(placements))
+	for i, p := range placements {
+		wg.Add(1)
+		go func(p executor.Placement, first *agent.Agent) {
+			defer wg.Done()
+			if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
+				errCh <- err
+			}
+		}(p, firstIncarnations[i])
+	}
+
+	// Wait for the exit tasks to report completion in the space.
+	waitErr := func() error {
+		done := make(chan error, 1)
+		go func() { done <- sp.WaitCompleted(ctx, def.Exits()) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				if cause := classifyCause(context.Cause(ctx)); cause != nil {
+					return cause
+				}
+			}
+			return err
+		case err := <-errCh:
+			return fmt.Errorf("core: agent failed: %w", err)
+		case err := <-spaceFailed:
+			return fmt.Errorf("core: space failed: %w", err)
+		}
+	}()
+	execTime := clock.Now() - execStart
+	stopAgents()
+	wg.Wait()
+
+	rep := &Report{
+		Workflow:   def.Name,
+		Executor:   s.mgr.exec.Name(),
+		Broker:     string(cfg.Broker),
+		Tasks:      def.TaskCount(),
+		Agents:     len(placements),
+		Nodes:      len(clus.Nodes()),
+		DeployTime: deployTime, ExecTime: execTime,
+		TotalTime:  deployTime + execTime,
+		Failures:   sup.failures(),
+		Recoveries: sup.recoveries(),
+		Messages:   broker.PublishedPrefix(s.prefix),
+		Statuses:   map[string]hoclflow.Status{},
+		Results:    map[string][]string{},
+	}
+	rep.Adaptations = sp.Triggered()
+	rep.Events = s.recorder.Events()
+	for _, id := range def.AllTaskIDs() {
+		rep.Statuses[id] = sp.Status(id)
+	}
+	for _, exit := range def.Exits() {
+		for _, a := range sp.Results(exit) {
+			rep.Results[exit] = append(rep.Results[exit], a.String())
+		}
+	}
+	if waitErr != nil {
+		return rep, fmt.Errorf("core: workflow did not complete: %w", waitErr)
+	}
+	return rep, nil
+}
+
+// eventHub fans recorded trace events out to Events() subscribers. It is
+// deliberately lossy under backpressure: publish never blocks, so a slow
+// observer cannot stall a reducing agent.
+type eventHub struct {
+	buf int
+
+	mu     sync.Mutex
+	closed bool
+	subs   []chan trace.Event
+}
+
+func newEventHub(buf int) *eventHub { return &eventHub{buf: buf} }
+
+func (h *eventHub) publish(e trace.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for _, ch := range h.subs {
+		select {
+		case ch <- e:
+		default: // lossy: never block the recording agent
+		}
+	}
+}
+
+func (h *eventHub) subscribe() <-chan trace.Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan trace.Event, h.buf)
+	if h.closed {
+		close(ch)
+		return ch
+	}
+	h.subs = append(h.subs, ch)
+	return ch
+}
+
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, ch := range h.subs {
+		close(ch)
+	}
+}

@@ -28,6 +28,12 @@ type supervisor struct {
 	injector   *failure.Injector
 	placements map[string]*cluster.Node
 
+	// topicPrefix / spaceTopic scope the supervised agents to their
+	// session's topic namespace on the shared broker (empty values take
+	// the agent package defaults, for single-session setups and tests).
+	topicPrefix string
+	spaceTopic  string
+
 	restartDelay  float64
 	maxRecoveries int
 	recorder      *trace.Recorder
@@ -49,6 +55,8 @@ func (s *supervisor) newAgent(p executor.Placement, incarnation int) *agent.Agen
 		Placements:  s.placements,
 		Services:    s.services,
 		Injector:    s.injector,
+		SpaceTopic:  s.spaceTopic,
+		TopicPrefix: s.topicPrefix,
 		Incarnation: incarnation,
 		Trace:       s.recorder,
 	})
@@ -74,9 +82,9 @@ func (s *supervisor) run(ctx context.Context, p executor.Placement, first *agent
 				return fmt.Errorf("supervisor: recovery budget exhausted: %w", err)
 			}
 			s.recoveryCount.Add(1)
-			// Modelled respawn cost: detection + rescheduling.
-			s.cluster.Clock().Sleep(s.restartDelay)
-			if ctx.Err() != nil {
+			// Modelled respawn cost: detection + rescheduling
+			// (interruptible: a cancelled session does not wait it out).
+			if s.cluster.Clock().SleepCtx(ctx, s.restartDelay) != nil {
 				return nil
 			}
 			s.recorder.Record(trace.AgentRecovered, p.Spec.Task.Name, incarnation+1, "")

@@ -114,7 +114,36 @@ type matcher struct {
 	env   *Binding
 	funcs *Funcs
 	order []int
+
+	// solUsed pools the used-flags scratch of matchSolutionContents, one
+	// slice per nesting depth of solution patterns, so the engine's hot
+	// loop does not allocate per solution-pattern attempt. solDepth is
+	// the current nesting depth (siblings at the same depth reuse the
+	// same slice sequentially; a nested pattern pushes one level).
+	solUsed  [][]bool
+	solDepth int
 }
+
+// pushUsed returns a cleared n-element used-flags slice for the current
+// solution-pattern nesting level and enters the next level; popUsed
+// leaves it. The slice stays owned by the matcher across matches.
+func (m *matcher) pushUsed(n int) []bool {
+	if m.solDepth == len(m.solUsed) {
+		m.solUsed = append(m.solUsed, make([]bool, n))
+	}
+	buf := m.solUsed[m.solDepth]
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	} else {
+		buf = buf[:n]
+		clear(buf)
+	}
+	m.solUsed[m.solDepth] = buf
+	m.solDepth++
+	return buf
+}
+
+func (m *matcher) popUsed() { m.solDepth-- }
 
 // reset prepares the matcher for a fresh match, reusing its used-flags
 // slice and binding so the engine's hot loop does not allocate per
@@ -135,6 +164,7 @@ func (m *matcher) reset(sol *Solution, funcs *Funcs, order []int) {
 	} else {
 		m.env.reset()
 	}
+	m.solDepth = 0
 }
 
 // matchRule runs the match for r against the prepared solution. The
@@ -304,7 +334,8 @@ func (m *matcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func(
 		m.env.undo(mark)
 		return false
 	}
-	used := make([]bool, sub.Len())
+	used := m.pushUsed(sub.Len())
+	defer m.popUsed()
 	var rec func(k int) bool
 	rec = func(k int) bool {
 		if k == len(pt.Elems) {

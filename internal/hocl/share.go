@@ -117,19 +117,44 @@ func shareableSeq(elems []Atom) bool {
 	return true
 }
 
-// Fingerprint returns an order-sensitive 64-bit structural hash (FNV-1a)
-// of the atoms, used by agents to deduplicate unchanged status pushes
-// without rendering the solution to text. Two structurally identical
-// molecule lists hash equal; the inertness flag and solution identity do
-// not participate. Rules hash exactly the components Rule.Equal
-// compares (name, one-shot flag, rendered body), so two states that
-// differ only in a rule's guard or products never collide.
+// Fingerprint returns a 64-bit structural hash of the atoms, used by
+// agents to deduplicate unchanged status pushes without rendering the
+// solution to text.
+//
+// The top level is a multiset hash: each atom is hashed independently
+// (FNV-1a, then a splitmix64 finalizer) and the per-atom hashes are
+// combined commutatively (sum and xor, plus the count), so a reduction
+// that merely permutes the top-level atoms — chemically the same state —
+// fingerprints equal and is never re-pushed. Multiplicity still counts:
+// {a, a, b} and {a, b, b} differ through both combiners. Below the top
+// level, tuples, lists and nested solutions hash order-sensitively, as
+// their element order is structurally meaningful on the wire.
+//
+// The inertness flag and solution identity do not participate. Rules
+// hash exactly the components Rule.Equal compares (name, one-shot flag,
+// rendered body), so two states that differ only in a rule's guard or
+// products never collide.
 func Fingerprint(atoms ...Atom) uint64 {
-	h := uint64(fnvOffset)
+	var sum, xor uint64
 	for _, a := range atoms {
-		h = fingerprintAtom(h, a)
+		h := mix64(fingerprintAtom(fnvOffset, a))
+		sum += h
+		xor ^= h
 	}
-	return h
+	return mix64(sum ^ mix64(xor+uint64(len(atoms))))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+// Each per-atom hash is finalized before the commutative combine so
+// structurally close atoms contribute independent bit patterns — the
+// property that keeps sum/xor combining collision-safe in practice.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 const (

@@ -138,6 +138,47 @@ func TestFingerprintSeesRuleBodyChanges(t *testing.T) {
 	}
 }
 
+// TestFingerprintOrderInsensitiveTopLevel: permuting the top-level
+// multiset must not change the fingerprint (a permutation-only reduction
+// is chemically the same state), while genuinely different multisets —
+// including ones differing only in multiplicity — must not collide.
+func TestFingerprintOrderInsensitiveTopLevel(t *testing.T) {
+	a, b, c := Str("a"), Int(7), Tuple{Ident("STATUS"), Str("completed")}
+	if Fingerprint(a, b, c) != Fingerprint(c, a, b) {
+		t.Error("permuted multisets fingerprint differently")
+	}
+	if Fingerprint(a, b, c) != Fingerprint(b, c, a) {
+		t.Error("permuted multisets fingerprint differently (second rotation)")
+	}
+	if Fingerprint(a, b) == Fingerprint(a, b, c) {
+		t.Error("different multisets fingerprint equal")
+	}
+	// Multiplicity matters: {a, a, b} vs {a, b, b} vs {a, b}.
+	if Fingerprint(a, a, b) == Fingerprint(a, b, b) {
+		t.Error("multisets differing only in multiplicity collide")
+	}
+	if Fingerprint(a, a, b) == Fingerprint(a, b) {
+		t.Error("duplicate atom not reflected in fingerprint")
+	}
+	// The empty multiset is distinct from any singleton.
+	if Fingerprint() == Fingerprint(a) {
+		t.Error("empty multiset collides with singleton")
+	}
+}
+
+// TestFingerprintNestedOrderStillCounts: below the top level, element
+// order is structurally meaningful (tuples and lists are ordered on the
+// wire), so swapping elements inside a nested container must change the
+// fingerprint.
+func TestFingerprintNestedOrderStillCounts(t *testing.T) {
+	if Fingerprint(List{Int(1), Int(2)}) == Fingerprint(List{Int(2), Int(1)}) {
+		t.Error("list element order ignored")
+	}
+	if Fingerprint(Tuple{Str("x"), Str("y")}) == Fingerprint(Tuple{Str("y"), Str("x")}) {
+		t.Error("tuple element order ignored")
+	}
+}
+
 func TestFingerprintIgnoresInertFlag(t *testing.T) {
 	a := NewSolution(Int(1))
 	fp := Fingerprint(a)

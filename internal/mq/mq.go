@@ -18,6 +18,8 @@ package mq
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +80,21 @@ type Broker interface {
 	// Published returns the total number of messages accepted, an
 	// instrumentation counter for the experiment reports.
 	Published() int64
+	// PublishedPrefix returns the number of messages accepted for topics
+	// sharing the given prefix — the per-session message count of a
+	// long-lived broker multiplexing namespaced workflow runs.
+	PublishedPrefix(prefix string) int64
+	// Topics returns the topics under the given prefix that still hold
+	// broker state (subscriber lists, retained logs, counters), sorted.
+	// An empty prefix lists everything.
+	Topics(prefix string) []string
+	// PurgeTopics drops all broker state for topics sharing the given
+	// prefix — subscriber registrations, retained logs and counters —
+	// and reports how many topics were purged. Sessions call it on
+	// completion so a long-lived broker does not accumulate state for
+	// every workflow ever run. Purging does not close subscriber
+	// channels; consumers still own their Subscription lifecycles.
+	PurgeTopics(prefix string) int
 	// Close shuts the broker down; subsequent publishes fail.
 	Close() error
 }
@@ -135,9 +152,12 @@ type common struct {
 	// qmu serialises the broker-occupancy bookkeeping: the broker is a
 	// single shared middleware instance (as in the paper's deployment),
 	// so bursts of messages queue behind each other. nextFree is the
-	// real-time instant the broker finishes its current backlog.
+	// real-time instant the broker finishes its current backlog. The
+	// per-topic publish counters piggyback on the same critical section
+	// (deliver already holds it exactly once per accepted message).
 	qmu      sync.Mutex
 	nextFree time.Time
+	perTopic map[string]int64
 
 	published atomic.Int64
 }
@@ -176,7 +196,10 @@ func (s *subscriber) drain() {
 }
 
 func newCommon(clock *cluster.Clock, latency, svcTime float64) *common {
-	return &common{clock: clock, latency: latency, svcTime: svcTime, subs: map[string][]*subscriber{}}
+	return &common{
+		clock: clock, latency: latency, svcTime: svcTime,
+		subs: map[string][]*subscriber{}, perTopic: map[string]int64{},
+	}
 }
 
 func (c *common) Subscribe(topic string) (*Subscription, error) {
@@ -231,6 +254,7 @@ func (c *common) deliver(msg Message) {
 	}
 	c.nextFree = start.Add(time.Duration(c.svcTime * scale))
 	due := c.nextFree.Add(time.Duration(c.latency * scale))
+	c.perTopic[msg.Topic]++
 	c.qmu.Unlock()
 
 	c.mu.RLock()
@@ -253,6 +277,80 @@ func (c *common) SetServiceTime(s float64) {
 }
 
 func (c *common) Published() int64 { return c.published.Load() }
+
+// PublishedPrefix sums the per-topic publish counters over topics with
+// the given prefix. An empty prefix matches everything still counted
+// (purged topics no longer contribute).
+func (c *common) PublishedPrefix(prefix string) int64 {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	var n int64
+	for topic, count := range c.perTopic {
+		if strings.HasPrefix(topic, prefix) {
+			n += count
+		}
+	}
+	return n
+}
+
+// Topics lists topics under prefix that hold subscriber or counter state.
+func (c *common) Topics(prefix string) []string {
+	seen := map[string]bool{}
+	c.mu.RLock()
+	for topic, list := range c.subs {
+		if len(list) > 0 && strings.HasPrefix(topic, prefix) {
+			seen[topic] = true
+		}
+	}
+	c.mu.RUnlock()
+	c.qmu.Lock()
+	for topic := range c.perTopic {
+		if strings.HasPrefix(topic, prefix) {
+			seen[topic] = true
+		}
+	}
+	c.qmu.Unlock()
+	out := make([]string, 0, len(seen))
+	for topic := range seen {
+		out = append(out, topic)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PurgeTopics drops subscriber registrations and counters for topics
+// with the given prefix. Subscriber done-channels are left untouched —
+// closing them is the owning Subscription's job — so a purged consumer
+// simply stops receiving.
+func (c *common) PurgeTopics(prefix string) int {
+	return len(c.purge(prefix))
+}
+
+// purge removes the common state under prefix and returns the set of
+// topics that held any, so broker variants can union in their own state
+// (the log broker adds its retained logs) without re-scanning.
+func (c *common) purge(prefix string) map[string]bool {
+	purged := map[string]bool{}
+	c.mu.Lock()
+	for topic, list := range c.subs {
+		if strings.HasPrefix(topic, prefix) {
+			if len(list) > 0 {
+				purged[topic] = true
+			}
+			delete(c.subs, topic)
+		}
+	}
+	c.mu.Unlock()
+	c.qmu.Lock()
+	for topic := range c.perTopic {
+		if strings.HasPrefix(topic, prefix) {
+			purged[topic] = true
+			delete(c.perTopic, topic)
+		}
+	}
+	c.qmu.Unlock()
+	return purged
+}
 
 func (c *common) Close() error {
 	c.mu.Lock()
@@ -365,6 +463,44 @@ func (b *LogBroker) append(msg Message) error {
 	b.logMu.Unlock()
 	b.deliver(msg)
 	return nil
+}
+
+// Topics lists topics under prefix holding subscriber, counter or log
+// state.
+func (b *LogBroker) Topics(prefix string) []string {
+	seen := map[string]bool{}
+	for _, t := range b.common.Topics(prefix) {
+		seen[t] = true
+	}
+	b.logMu.RLock()
+	for topic := range b.logs {
+		if strings.HasPrefix(topic, prefix) {
+			seen[topic] = true
+		}
+	}
+	b.logMu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for topic := range seen {
+		out = append(out, topic)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PurgeTopics additionally drops the retained logs under prefix — the
+// piece of per-workflow state that would otherwise grow without bound in
+// a long-lived log broker (replay is only meaningful within a session).
+func (b *LogBroker) PurgeTopics(prefix string) int {
+	purged := b.common.purge(prefix)
+	b.logMu.Lock()
+	for topic := range b.logs {
+		if strings.HasPrefix(topic, prefix) {
+			purged[topic] = true
+			delete(b.logs, topic)
+		}
+	}
+	b.logMu.Unlock()
+	return len(purged)
 }
 
 // Log returns a copy of the topic's full history. Atom slices are copied

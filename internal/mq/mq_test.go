@@ -291,6 +291,91 @@ func TestPublishAtomsDeliversStructurally(t *testing.T) {
 	}
 }
 
+// TestTopicNamespaceAccounting: per-prefix publish counters attribute a
+// shared broker's traffic to the session namespace that produced it.
+func TestTopicNamespaceAccounting(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewQueueBroker(clock, 1e-9)
+	for i := 0; i < 3; i++ {
+		if err := b.Publish("wf1.sa.T1", "X"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Publish("wf2.sa.T1", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PublishedPrefix("wf1."); got != 3 {
+		t.Errorf("wf1 = %d, want 3", got)
+	}
+	if got := b.PublishedPrefix("wf2."); got != 1 {
+		t.Errorf("wf2 = %d, want 1", got)
+	}
+	if got := b.PublishedPrefix(""); got != 4 {
+		t.Errorf("all = %d, want 4", got)
+	}
+	if b.Published() != 4 {
+		t.Errorf("global = %d, want 4", b.Published())
+	}
+}
+
+// TestPurgeTopicsDropsNamespaceState: purging a prefix removes
+// subscriber registrations, counters and (log broker) retained logs for
+// that namespace only.
+func TestPurgeTopicsDropsNamespaceState(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewLogBroker(clock, 1e-9)
+	sub1, err := b.Subscribe("wf1.sa.T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub1.Cancel()
+	if _, err := b.Subscribe("wf2.sa.T1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("wf1.sa.T1", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("wf2.sa.T1", "B"); err != nil {
+		t.Fatal(err)
+	}
+	<-sub1.C() // drain before purge
+
+	if got := b.Topics("wf1."); len(got) != 1 || got[0] != "wf1.sa.T1" {
+		t.Fatalf("topics(wf1.) = %v", got)
+	}
+	if n := b.PurgeTopics("wf1."); n != 1 {
+		t.Errorf("purged = %d, want 1", n)
+	}
+	if got := b.Topics("wf1."); len(got) != 0 {
+		t.Errorf("wf1 topics survive purge: %v", got)
+	}
+	if got := b.Log("wf1.sa.T1"); len(got) != 0 {
+		t.Errorf("wf1 log survives purge: %v", got)
+	}
+	if got := b.PublishedPrefix("wf1."); got != 0 {
+		t.Errorf("wf1 counters survive purge: %d", got)
+	}
+	// The sibling namespace is untouched.
+	if got := b.Topics("wf2."); len(got) != 1 {
+		t.Errorf("wf2 topics = %v", got)
+	}
+	if got := b.Log("wf2.sa.T1"); len(got) != 1 {
+		t.Errorf("wf2 log = %v", got)
+	}
+	// A purged consumer's Subscription remains safe to cancel.
+	sub1.Cancel()
+	// Post-purge publishes to the namespace still work (topics are
+	// created on demand); nothing is delivered to the purged consumer.
+	if err := b.Publish("wf1.sa.T1", "C"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub1.C():
+		t.Errorf("purged consumer received %v", m)
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
 func TestLogBrokerReplaysStructuralMessages(t *testing.T) {
 	clock := cluster.NewClock(time.Nanosecond)
 	b := NewLogBroker(clock, 1e-9)

@@ -17,6 +17,17 @@ import (
 // DefaultTopic is the broker topic the space consumes.
 const DefaultTopic = "ginflow.space"
 
+// TopicFor returns the space topic of a namespaced session: ns is a
+// per-run topic namespace such as "wf3." (empty selects DefaultTopic).
+// Each session of a long-lived manager runs its own Space on its own
+// topic, so concurrent runs' status molecules never cross.
+func TopicFor(ns string) string {
+	if ns == "" {
+		return DefaultTopic
+	}
+	return ns + DefaultTopic
+}
+
 // Space is the shared multiset. It is safe for concurrent use.
 type Space struct {
 	mu        sync.Mutex
@@ -61,6 +72,19 @@ func (s *Space) Updates() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.updates
+}
+
+// Names returns the task names that have reported into this space, in
+// no particular order — the observable footprint of a session, used to
+// assert that concurrent runs' molecules never cross.
+func (s *Space) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tasks))
+	for name := range s.tasks {
+		out = append(out, name)
+	}
+	return out
 }
 
 // Status derives the recorded status of a task (StatusIdle when the task

@@ -58,19 +58,47 @@ type Clock interface {
 
 // Recorder collects events. It is safe for concurrent use; a nil
 // Recorder ignores all records, so instrumentation sites need no guards.
+//
+// Besides retaining the timeline, a recorder can fan events out live:
+// sinks registered with AddSink observe every event as it is recorded —
+// the mechanism behind the engine's streaming Events() API. A
+// forward-only recorder (NewForwarder) invokes its sinks without
+// retaining anything, so always-on streaming costs no unbounded memory.
 type Recorder struct {
-	clock Clock
+	clock  Clock
+	retain bool
 
 	mu     sync.Mutex
 	events []Event
+	sinks  []func(Event)
 }
 
-// NewRecorder returns a recorder stamping events with the given clock.
+// NewRecorder returns a recorder stamping events with the given clock
+// and retaining the full timeline.
 func NewRecorder(clock Clock) *Recorder {
+	return &Recorder{clock: clock, retain: true}
+}
+
+// NewForwarder returns a recorder that forwards events to its sinks
+// without retaining them: Events() stays empty, Record is O(sinks).
+func NewForwarder(clock Clock) *Recorder {
 	return &Recorder{clock: clock}
 }
 
-// Record appends an event at the current model time.
+// AddSink registers a live observer invoked (synchronously) for every
+// subsequently recorded event. Sinks must not block: a slow sink stalls
+// the recording agent. Safe to call concurrently with Record.
+func (r *Recorder) AddSink(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, fn)
+	r.mu.Unlock()
+}
+
+// Record appends an event at the current model time and forwards it to
+// the registered sinks.
 func (r *Recorder) Record(kind Kind, task string, incarnation int, info string) {
 	if r == nil {
 		return
@@ -79,11 +107,16 @@ func (r *Recorder) Record(kind Kind, task string, incarnation int, info string) 
 	if r.clock != nil {
 		at = r.clock.Now()
 	}
+	e := Event{At: at, Kind: kind, Task: task, Incarnation: incarnation, Info: info}
 	r.mu.Lock()
-	r.events = append(r.events, Event{
-		At: at, Kind: kind, Task: task, Incarnation: incarnation, Info: info,
-	})
+	if r.retain {
+		r.events = append(r.events, e)
+	}
+	sinks := r.sinks
 	r.mu.Unlock()
+	for _, fn := range sinks {
+		fn(e)
+	}
 }
 
 // Events returns a copy of the timeline, sorted by model time (record

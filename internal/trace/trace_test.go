@@ -104,6 +104,42 @@ func TestWriteTimeline(t *testing.T) {
 	}
 }
 
+// TestSinkFanOut: sinks observe every recorded event live; a
+// forward-only recorder streams without retaining.
+func TestSinkFanOut(t *testing.T) {
+	r := NewRecorder(&fakeClock{})
+	var got1, got2 []Event
+	r.AddSink(func(e Event) { got1 = append(got1, e) })
+	r.AddSink(func(e Event) { got2 = append(got2, e) })
+	r.Record(AgentStarted, "T1", 0, "")
+	r.Record(TaskCompleted, "T1", 0, "")
+	if len(got1) != 2 || len(got2) != 2 {
+		t.Errorf("sinks saw %d/%d events, want 2/2", len(got1), len(got2))
+	}
+	if got1[1].Kind != TaskCompleted {
+		t.Errorf("sink order: %v", got1)
+	}
+	if r.Len() != 2 {
+		t.Errorf("retained = %d", r.Len())
+	}
+
+	f := NewForwarder(&fakeClock{})
+	var streamed int
+	f.AddSink(func(Event) { streamed++ })
+	f.Record(AgentStarted, "T1", 0, "")
+	if streamed != 1 {
+		t.Errorf("forwarder streamed %d, want 1", streamed)
+	}
+	if f.Len() != 0 || len(f.Events()) != 0 {
+		t.Errorf("forwarder retained events: %d", f.Len())
+	}
+	// Nil recorder and nil sink stay safe.
+	var nilRec *Recorder
+	nilRec.AddSink(func(Event) {})
+	f.AddSink(nil)
+	f.Record(AgentStarted, "T1", 0, "")
+}
+
 func TestRecorderConcurrency(t *testing.T) {
 	r := NewRecorder(&fakeClock{})
 	done := make(chan struct{})
