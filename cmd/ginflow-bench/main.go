@@ -7,10 +7,15 @@
 //	ginflow-bench -fig 14     executor × middleware comparison (Fig. 14)
 //	ginflow-bench -fig 15     Montage shape and duration CDF (Fig. 15)
 //	ginflow-bench -fig 16     resilience under failure injection (Fig. 16)
-//	ginflow-bench -fig sweep  diamond scaling sweep (8x8, 12x12, 16x16),
+//	ginflow-bench -fig sweep  diamond scaling sweep (8x8 .. 24x24),
 //	                          standalone runs vs. one shared Manager
 //	                          multiplexing the whole sweep concurrently
 //	ginflow-bench -fig all    everything, in order
+//
+// The sweep takes extra knobs: -sizes picks the mesh sizes (e.g.
+// -sizes 8,16), -shards sets the broker shard count (1 = the unsharded
+// broker, for before/after comparisons), and -json writes the sweep
+// results as a machine-readable artifact (the CI smoke job uploads it).
 //
 // Times are model seconds (1 model second costs -scale of real time;
 // see DESIGN.md §1 for the substitution rationale). -quick shrinks the
@@ -18,9 +23,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ginflow/internal/bench"
@@ -35,22 +43,32 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | sweep | all")
-		quick   = flag.Bool("quick", false, "reduced sweeps")
-		runs    = flag.Int("runs", 3, "repetitions for averaged experiments (paper: up to 10)")
-		scale   = flag.Duration("scale", time.Millisecond, "real time per model second")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		timeout = flag.Duration("timeout", 5*time.Minute, "per-run timeout (real time)")
+		fig      = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | sweep | all")
+		quick    = flag.Bool("quick", false, "reduced sweeps")
+		runs     = flag.Int("runs", 3, "repetitions for averaged experiments (paper: up to 10)")
+		scale    = flag.Duration("scale", time.Millisecond, "real time per model second")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-run timeout (real time)")
+		shards   = flag.Int("shards", 0, "broker shard count (0 = default, 1 = unsharded)")
+		sizes    = flag.String("sizes", "", "comma-separated sweep mesh sizes, e.g. 8,16,24 (sweep only)")
+		fan      = flag.Int("fan", 1, "concurrent copies of each sweep size on the shared Manager (sweep only)")
+		jsonPath = flag.String("json", "", "write sweep results as JSON to this path (sweep only)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
-		Out:     os.Stdout,
-		Quick:   *quick,
-		Runs:    *runs,
-		Scale:   *scale,
-		Seed:    *seed,
-		Timeout: *timeout,
+		Out:          os.Stdout,
+		Quick:        *quick,
+		Runs:         *runs,
+		Scale:        *scale,
+		Seed:         *seed,
+		Timeout:      *timeout,
+		BrokerShards: *shards,
+		Fan:          *fan,
+	}
+	sweepSizes, err := parseSizes(*sizes)
+	if err != nil {
+		return err
 	}
 
 	runFig := func(name string) error {
@@ -70,9 +88,7 @@ func run() error {
 		case "16":
 			_, _, err = bench.Fig16(opts)
 		case "sweep":
-			if _, _, err = bench.DiamondSweep(opts, nil, false); err == nil {
-				_, _, err = bench.DiamondSweep(opts, nil, true)
-			}
+			err = runSweep(opts, sweepSizes, *jsonPath)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -92,4 +108,52 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runSweep runs both sweep modes and optionally writes the JSON
+// artifact.
+func runSweep(opts bench.Options, sizes []int, jsonPath string) error {
+	standalonePoints, standaloneWall, err := bench.DiamondSweep(opts, sizes, false)
+	if err != nil {
+		return err
+	}
+	sharedPoints, sharedWall, err := bench.DiamondSweep(opts, sizes, true)
+	if err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	results := []bench.SweepResult{
+		{
+			Mode: "standalone", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
+			Points: standalonePoints, WallSeconds: standaloneWall.Seconds(),
+		},
+		{
+			Mode: "shared-manager", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
+			Points: sharedPoints, WallSeconds: sharedWall.Seconds(),
+		},
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+// parseSizes decodes the -sizes flag ("" means the default grid).
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q (want positive integers)", p)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }

@@ -1,0 +1,98 @@
+package ginflow_test
+
+// TestPublicGodocComplete is the exported-comment lint for the public
+// ginflow package (a revive/golint-style check, kept in-tree so CI
+// needs no external tool): every exported identifier — types, funcs,
+// methods on exported types, and package-level consts/vars — must carry
+// a doc comment, so `go doc ginflow` reads as reference documentation.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestPublicGodocComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ginflow"]
+	if !ok {
+		t.Fatalf("package ginflow not found in . (got %v)", pkgs)
+	}
+
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		missing = append(missing, fmt.Sprintf("%s: %s %s", fset.Position(pos), kind, name))
+	}
+
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(fset.Position(file.Package).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				if d.Doc == nil {
+					report(d.Pos(), "func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(d, report)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported identifiers without doc comments (godoc lint):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions have no receiver and count as exported scope).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.IndexExpr:
+			typ = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl enforces comments on exported type/const/var
+// declarations: either the declaration block carries a doc comment or
+// each exported spec does (both are idiomatic godoc).
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := d.Tok.String()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -173,6 +173,14 @@ func WithExecutor(k ExecutorKind) Option { return func(c *Config) { c.Executor =
 // WithBroker selects the messaging middleware (default BrokerActiveMQ).
 func WithBroker(k BrokerKind) Option { return func(c *Config) { c.Broker = k } }
 
+// WithBrokerShards partitions the shared broker into n independent
+// shards. Each session's topic namespace pins to one shard, so
+// concurrent sessions spread over the shard set instead of queueing
+// behind one modelled middleware occupancy; a single session's timing is
+// unchanged at any shard count. 0 (the default) takes the broker's
+// default shard count; 1 reproduces an unsharded broker.
+func WithBrokerShards(n int) Option { return func(c *Config) { c.BrokerShards = n } }
+
 // WithCluster sizes the simulated platform.
 func WithCluster(cc ClusterConfig) Option { return func(c *Config) { c.Cluster = cc } }
 

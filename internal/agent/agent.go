@@ -92,11 +92,11 @@ type Agent struct {
 	// of sleeping it out.
 	runCtx context.Context
 
-	// lastPush fingerprints the last status payload pushed to the space
-	// (hocl.Fingerprint over the stripped sub-solution), so unchanged
-	// states are deduplicated without rendering or snapshotting anything.
-	lastPush      uint64
-	pushed        bool
+	// statusEnc delta-encodes status pushes: the first push of this
+	// incarnation is a full snapshot, later pushes ship only the changed
+	// top-level atoms, and unchanged states are deduplicated by
+	// fingerprint without rendering or snapshotting anything.
+	statusEnc     hoclflow.StatusEncoder
 	statusScratch []hocl.Atom
 	completedSeen bool
 	sends         atomic.Int64
@@ -114,6 +114,7 @@ func New(cfg Config) *Agent {
 		name: cfg.Spec.Task.Name,
 	}
 	a.local = cfg.Spec.Local.SnapshotSolution()
+	a.statusEnc.Task = a.name
 	a.rng = cfg.Rand
 	if a.rng == nil && cfg.Cluster != nil {
 		a.rng = cfg.Cluster.Rand()
@@ -287,9 +288,11 @@ func (a *Agent) publishWithLatency(topic string, atoms []hocl.Atom, latency floa
 // and the NAME atom are stripped: the space tracks data state, and rules
 // do not round-trip cheaply.
 //
-// Deduplication is fingerprint-first: the stripped atoms are hashed in
-// place, and only a changed state pays for the snapshot and the publish —
-// an unchanged push costs one hash, no rendering, no allocation.
+// The stripped state goes through the incarnation's StatusEncoder: the
+// first push is a full snapshot, later pushes are deltas carrying only
+// the changed top-level atoms (falling back to a snapshot when the delta
+// would not be smaller), and an unchanged state costs one hash pass and
+// no publish.
 func (a *Agent) pushStatus() {
 	atoms := a.statusScratch[:0]
 	for _, atom := range a.local.Atoms() {
@@ -302,15 +305,11 @@ func (a *Agent) pushStatus() {
 		atoms = append(atoms, atom)
 	}
 	a.statusScratch = atoms
-	fp := hocl.Fingerprint(atoms...)
-	if a.pushed && fp == a.lastPush {
+	payload := a.statusEnc.Encode(atoms, a.local.Inert())
+	if payload == nil {
 		return
 	}
-	a.lastPush = fp
-	a.pushed = true
-	sub := hocl.NewSolution(hocl.SnapshotAtoms(atoms)...)
-	sub.SetInert(a.local.Inert())
-	_ = a.cfg.Broker.PublishAtoms(a.spaceTopic(), []hocl.Atom{hocl.Tuple{hocl.Ident(a.name), sub}})
+	_ = a.cfg.Broker.PublishAtoms(a.spaceTopic(), payload)
 }
 
 // reduce runs the interpreter over the local solution and pushes status.
@@ -398,18 +397,25 @@ func (a *Agent) Run(ctx context.Context) error {
 		return err
 	}
 
+	batches := sub.Batches()
 	for {
 		select {
 		case <-ctx.Done():
 			return nil
-		case msg := <-sub.C():
-			a.ingest(msg)
-			// Drain whatever else is already queued before reducing:
-			// one reduction can absorb a burst of arrivals.
+		case batch := <-batches:
+			for i := range batch {
+				a.ingest(batch[i])
+			}
+			// Drain whatever else is already due before reducing: one
+			// reduction can absorb a burst of arrivals. (Batch slices
+			// are broker-owned; each is fully ingested before the next
+			// receive, as the Batches contract requires.)
 			for drained := true; drained; {
 				select {
-				case more := <-sub.C():
-					a.ingest(more)
+				case more := <-batches:
+					for i := range more {
+						a.ingest(more[i])
+					}
 				default:
 					drained = false
 				}

@@ -43,6 +43,16 @@ type Options struct {
 	Seed int64
 	// Timeout bounds each single workflow run in real time (default 5 m).
 	Timeout time.Duration
+	// BrokerShards partitions the shared broker (0 = mq default, 1 =
+	// unsharded); only concurrent shared-Manager sweeps are sensitive to
+	// it.
+	BrokerShards int
+	// Fan is the number of concurrent copies of each sweep size
+	// submitted to the shared Manager (default 1). Raising it multiplies
+	// the concurrent-session load on the shared broker — the regime
+	// where shard count decides the wall-clock. Standalone sweeps run
+	// the copies sequentially, for an equal-work baseline.
+	Fan int
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Minute
+	}
+	if o.Fan <= 0 {
+		o.Fan = 1
 	}
 	return o
 }
@@ -160,23 +173,39 @@ type SweepPoint struct {
 	Exec float64 // mean execution time, model seconds
 }
 
-// SweepSizes returns the default scaling-sweep mesh sizes.
+// SweepResult is one mode of the diamond scaling sweep in a
+// serialisable form (the -json artifact of ginflow-bench).
+type SweepResult struct {
+	Mode         string // "standalone" or "shared-manager"
+	BrokerShards int    // 0 = mq default
+	Runs         int
+	Fan          int // concurrent copies of each size (shared mode)
+	Points       []SweepPoint
+	WallSeconds  float64 // real time for the whole mode
+}
+
+// SweepSizes returns the default scaling-sweep mesh sizes. The 24×24
+// mesh (578 agents) is the post-sharding scale target; it only became
+// tractable in shared-Manager mode once sessions stopped contending on
+// one broker occupancy.
 func SweepSizes(quick bool) []int {
 	if quick {
 		return []int{4, 6}
 	}
-	return []int{8, 12, 16}
+	return []int{8, 12, 16, 24}
 }
 
 // DiamondSweep measures N×N simple-connected diamonds at the given
 // sizes on 25 nodes over SSH + ActiveMQ.
 //
 // With shared=false each run gets a throwaway engine (the paper's
-// one-workflow-per-invocation shape). With shared=true the whole sweep
-// fans through one long-lived core.Manager per repetition: all sizes are
-// submitted concurrently and multiplex over one cluster and broker in
-// separate topic namespaces — the scaling shape the Manager API exists
-// for. The returned wall duration covers the whole sweep.
+// one-workflow-per-invocation shape); Options.Fan > 1 repeats each size
+// sequentially, for an equal-work baseline. With shared=true the whole
+// sweep fans through one long-lived core.Manager per repetition: Fan
+// copies of every size are submitted concurrently and multiplex over one
+// cluster and broker in separate topic namespaces — the scaling shape
+// the Manager API (and the sharded broker) exists for. The returned wall
+// duration covers the whole sweep.
 func DiamondSweep(opts Options, sizes []int, shared bool) ([]SweepPoint, time.Duration, error) {
 	opts = opts.withDefaults()
 	if len(sizes) == 0 {
@@ -184,7 +213,10 @@ func DiamondSweep(opts Options, sizes []int, shared bool) ([]SweepPoint, time.Du
 	}
 	mode := "standalone runs"
 	if shared {
-		mode = "one shared Manager, concurrent sessions"
+		mode = fmt.Sprintf("one shared Manager, concurrent sessions, %s", shardLabel(opts.BrokerShards))
+	}
+	if opts.Fan > 1 {
+		mode += fmt.Sprintf(", fan %d", opts.Fan)
 	}
 	fmt.Fprintf(opts.Out, "# Diamond scaling sweep (%s; model seconds, mean of %d runs)\n", mode, opts.Runs)
 	fmt.Fprintf(opts.Out, "%-8s %12s\n", "mesh", "exec(s)")
@@ -203,16 +235,19 @@ func DiamondSweep(opts Options, sizes []int, shared bool) ([]SweepPoint, time.Du
 			continue
 		}
 		for i, n := range sizes {
-			def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
-			rep, err := runOnce(opts, def, diamondServices(), core.Config{
-				Executor: executor.KindSSH,
-				Broker:   mq.KindQueue,
-				Cluster:  opts.clusterConfig(25, opts.Seed+int64(run)),
-			})
-			if err != nil {
-				return nil, time.Since(started), fmt.Errorf("sweep %dx%d: %w", n, n, err)
+			for f := 0; f < opts.Fan; f++ {
+				def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
+				rep, err := runOnce(opts, def, diamondServices(), core.Config{
+					Executor:     executor.KindSSH,
+					Broker:       mq.KindQueue,
+					BrokerShards: opts.BrokerShards,
+					Cluster:      opts.clusterConfig(25, opts.Seed+int64(run*opts.Fan+f)),
+				})
+				if err != nil {
+					return nil, time.Since(started), fmt.Errorf("sweep %dx%d: %w", n, n, err)
+				}
+				sums[i] += rep.ExecTime / float64(opts.Fan)
 			}
-			sums[i] += rep.ExecTime
 		}
 	}
 	wall := time.Since(started)
@@ -226,36 +261,59 @@ func DiamondSweep(opts Options, sizes []int, shared bool) ([]SweepPoint, time.Du
 	return points, wall, nil
 }
 
-// sweepThroughManager submits every sweep size concurrently to one
-// long-lived Manager and returns the per-size execution times.
+// shardLabel renders a shard-count option for sweep headers.
+func shardLabel(shards int) string {
+	switch {
+	case shards <= 0:
+		return fmt.Sprintf("%d broker shards (default)", mq.DefaultShards)
+	case shards == 1:
+		return "unsharded broker"
+	default:
+		return fmt.Sprintf("%d broker shards", shards)
+	}
+}
+
+// sweepThroughManager submits Fan copies of every sweep size
+// concurrently to one long-lived Manager and returns the per-size mean
+// execution times.
 func sweepThroughManager(opts Options, sizes []int, seed int64) ([]float64, error) {
+	// The shared platform grows with the fan so per-session node density
+	// matches the standalone baseline (the broker, not the nodes, is the
+	// contended resource under test).
 	m, err := core.NewManager(core.Config{
-		Executor: executor.KindSSH,
-		Broker:   mq.KindQueue,
-		Cluster:  opts.clusterConfig(25, seed),
-		Timeout:  opts.Timeout,
+		Executor:     executor.KindSSH,
+		Broker:       mq.KindQueue,
+		BrokerShards: opts.BrokerShards,
+		Cluster:      opts.clusterConfig(25*opts.Fan, seed),
+		Timeout:      opts.Timeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer m.Close()
 
-	sessions := make([]*core.Session, len(sizes))
+	type submission struct {
+		idx     int // index into sizes (not the size: duplicates stay distinct)
+		session *core.Session
+	}
+	subs := make([]submission, 0, len(sizes)*opts.Fan)
 	for i, n := range sizes {
-		def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
-		s, err := m.Submit(context.Background(), def, diamondServices())
-		if err != nil {
-			return nil, fmt.Errorf("sweep submit %dx%d: %w", n, n, err)
+		for f := 0; f < opts.Fan; f++ {
+			def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
+			s, err := m.Submit(context.Background(), def, diamondServices())
+			if err != nil {
+				return nil, fmt.Errorf("sweep submit %dx%d: %w", n, n, err)
+			}
+			subs = append(subs, submission{idx: i, session: s})
 		}
-		sessions[i] = s
 	}
 	execs := make([]float64, len(sizes))
-	for i, s := range sessions {
-		rep, err := s.Wait(context.Background())
+	for _, sub := range subs {
+		rep, err := sub.session.Wait(context.Background())
 		if err != nil {
-			return nil, fmt.Errorf("sweep %dx%d: %w", sizes[i], sizes[i], err)
+			return nil, fmt.Errorf("sweep %dx%d: %w", sizes[sub.idx], sizes[sub.idx], err)
 		}
-		execs[i] = rep.ExecTime
+		execs[sub.idx] += rep.ExecTime / float64(opts.Fan)
 	}
 	return execs, nil
 }

@@ -40,6 +40,12 @@ type Config struct {
 	// Broker: activemq or kafka (default activemq). Ignored by the
 	// centralized executor.
 	Broker mq.Kind
+	// BrokerShards partitions the shared broker: each session's topic
+	// namespace pins to one shard (mq.ShardKey), so concurrent sessions
+	// spread over the shard set instead of contending on one middleware
+	// occupancy. 0 takes mq.DefaultShards; 1 reproduces the unsharded
+	// broker. Single runs are timing-identical at any shard count.
+	BrokerShards int
 	// Cluster sizes the simulated platform.
 	Cluster cluster.Config
 	// SSH / Mesos / EC2 tune the executors (zero values take defaults).

@@ -64,7 +64,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
-		broker, err := mq.NewBroker(cfg.Broker, m.cluster.Clock())
+		broker, err := mq.NewBrokerSharded(cfg.Broker, m.cluster.Clock(), cfg.BrokerShards)
 		if err != nil {
 			return nil, err
 		}

@@ -441,3 +441,62 @@ func TestManagerHandleStatusLive(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelledSessionLeavesNoTopicsOnAnyShard is the sharded-broker
+// namespace-cleanup regression test: sessions pin to broker shards by
+// namespace hash, so teardown must purge the session's topics from
+// whichever shard holds them. Several concurrent sessions (spread over a
+// 4-shard broker) are cancelled mid-run; afterwards no shard may retain
+// any topic of any session.
+func TestCancelledSessionLeavesNoTopicsOnAnyShard(t *testing.T) {
+	m := newTestManager(t, Config{
+		Executor:     executor.KindSSH,
+		Broker:       mq.KindLog, // retained logs are the easiest state to leak
+		BrokerShards: 4,
+		Cluster:      fastCluster(8),
+	})
+	broker := m.Broker()
+	if broker.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", broker.ShardCount())
+	}
+
+	var sessions []*Session
+	for i := 0; i < 6; i++ {
+		// Long diamonds so cancellation lands mid-run.
+		def := workflow.Diamond(workflow.DefaultDiamondSpec(2, 30, false))
+		s, err := m.Submit(context.Background(), def, diamondServices(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	// Let traffic flow so every session has created topics on its shard.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, s := range sessions {
+		for broker.PublishedPrefix(s.TopicNamespace()) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("session %s produced no traffic", s.TopicNamespace())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, s := range sessions {
+		s.Cancel(nil)
+	}
+	for _, s := range sessions {
+		if _, err := s.Wait(context.Background()); !errors.Is(err, ErrCancelled) {
+			t.Errorf("wait after cancel: %v", err)
+		}
+	}
+	for _, s := range sessions {
+		ns := s.TopicNamespace()
+		for shard := 0; shard < broker.ShardCount(); shard++ {
+			if got := broker.ShardTopics(shard, ns); len(got) != 0 {
+				t.Errorf("shard %d retains topics of cancelled session %s: %v", shard, ns, got)
+			}
+		}
+		if got := broker.Topics(ns); len(got) != 0 {
+			t.Errorf("broker retains topics of cancelled session %s: %v", ns, got)
+		}
+	}
+}

@@ -144,6 +144,49 @@ func Fingerprint(atoms ...Atom) uint64 {
 	return mix64(sum ^ mix64(xor+uint64(len(atoms))))
 }
 
+// AtomHash returns the finalized structural hash of one atom: the
+// per-atom term of Fingerprint's top-level multiset combine. Equal atoms
+// hash equal; below the atom's top level, element order is significant
+// (matching Fingerprint). The delta status protocol (DESIGN.md "Broker
+// internals") uses AtomHash to identify removed atoms on the wire and to
+// fold per-atom hashes incrementally through MultisetHash.
+func AtomHash(a Atom) uint64 {
+	return mix64(fingerprintAtom(fnvOffset, a))
+}
+
+// MultisetHash combines AtomHash values incrementally into the same
+// order-insensitive fingerprint Fingerprint computes in one pass:
+// folding the AtomHash of every atom in a multiset through Add yields
+// Fingerprint of those atoms, and Remove undoes an Add exactly. The zero
+// value is the hash of the empty multiset.
+type MultisetHash struct {
+	sum, xor uint64
+	n        uint64
+}
+
+// Add folds one atom hash into the multiset.
+func (m *MultisetHash) Add(h uint64) {
+	m.sum += h
+	m.xor ^= h
+	m.n++
+}
+
+// Remove unfolds one previously added atom hash.
+func (m *MultisetHash) Remove(h uint64) {
+	m.sum -= h
+	m.xor ^= h
+	m.n--
+}
+
+// Count returns the number of atoms currently folded in.
+func (m *MultisetHash) Count() int { return int(m.n) }
+
+// Fingerprint returns the combined fingerprint, equal to Fingerprint
+// over the same multiset of atoms.
+func (m *MultisetHash) Fingerprint() uint64 {
+	return mix64(m.sum ^ mix64(m.xor+m.n))
+}
+
 // mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
 // Each per-atom hash is finalized before the commutative combine so
 // structurally close atoms contribute independent bit patterns — the

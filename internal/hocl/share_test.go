@@ -211,3 +211,56 @@ func TestGenCountsMutations(t *testing.T) {
 		t.Error("SetInert must not bump the generation")
 	}
 }
+
+// TestAtomHashMatchesFingerprint pins the invariant the delta status
+// protocol rests on: folding per-atom hashes through MultisetHash yields
+// exactly Fingerprint of the same atoms, and Remove undoes Add.
+func TestAtomHashMatchesFingerprint(t *testing.T) {
+	atoms := sampleTaskSub().Atoms()
+	var m MultisetHash
+	for _, a := range atoms {
+		m.Add(AtomHash(a))
+	}
+	if got, want := m.Fingerprint(), Fingerprint(atoms...); got != want {
+		t.Errorf("MultisetHash fingerprint %#x != Fingerprint %#x", got, want)
+	}
+	if m.Count() != len(atoms) {
+		t.Errorf("Count = %d, want %d", m.Count(), len(atoms))
+	}
+
+	// Removing one atom lands on the fingerprint of the rest.
+	m.Remove(AtomHash(atoms[0]))
+	if got, want := m.Fingerprint(), Fingerprint(atoms[1:]...); got != want {
+		t.Errorf("after Remove: %#x != %#x", got, want)
+	}
+
+	// The zero value hashes the empty multiset.
+	var empty MultisetHash
+	if got, want := empty.Fingerprint(), Fingerprint(); got != want {
+		t.Errorf("empty: %#x != %#x", got, want)
+	}
+}
+
+// TestAtomHashOrderInsensitiveViaMultiset: the multiset combine is
+// order-insensitive (add order does not matter), while distinct atoms
+// hash apart.
+func TestAtomHashOrderInsensitiveViaMultiset(t *testing.T) {
+	a, b, c := Atom(Int(1)), Atom(Str("x")), Atom(Tuple{Ident("RES"), NewSolution(Int(2))})
+	var m1, m2 MultisetHash
+	for _, x := range []Atom{a, b, c} {
+		m1.Add(AtomHash(x))
+	}
+	for _, x := range []Atom{c, a, b} {
+		m2.Add(AtomHash(x))
+	}
+	if m1.Fingerprint() != m2.Fingerprint() {
+		t.Error("add order changed the multiset fingerprint")
+	}
+	if AtomHash(a) == AtomHash(b) {
+		t.Error("distinct atoms share a hash")
+	}
+	// A snapshot hashes identically to its original (structural hash).
+	if AtomHash(c) != AtomHash(Snapshot(c)) {
+		t.Error("snapshot changed the atom hash")
+	}
+}

@@ -1,0 +1,172 @@
+package hoclflow
+
+import (
+	"testing"
+
+	"ginflow/internal/hocl"
+)
+
+func statusAtoms() []hocl.Atom {
+	return []hocl.Atom{
+		hocl.Tuple{KeySRC, hocl.NewSolution(hocl.Ident("T1"), hocl.Ident("T2"))},
+		hocl.Tuple{KeyDST, hocl.NewSolution(hocl.Ident("T4"))},
+		hocl.Tuple{KeySRV, hocl.Str("s1")},
+		hocl.Tuple{KeyRES, hocl.NewSolution()},
+	}
+}
+
+func TestStatusDeltaRoundTrip(t *testing.T) {
+	d := StatusDelta{
+		Task: "T3", Base: 0xdeadbeefcafef00d, Next: 42,
+		RemovedHashes: []uint64{1, 2, 1 << 63},
+		Added:         []hocl.Atom{hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("out"))}},
+		Inert:         true,
+	}
+	got, ok := DecodeStatusDelta(d.Atom())
+	if !ok {
+		t.Fatal("round trip failed to decode")
+	}
+	if got.Task != d.Task || got.Base != d.Base || got.Next != d.Next || got.Inert != d.Inert {
+		t.Errorf("decoded %+v, want %+v", got, d)
+	}
+	if len(got.RemovedHashes) != 3 || got.RemovedHashes[2] != 1<<63 {
+		t.Errorf("removed hashes = %v", got.RemovedHashes)
+	}
+	if len(got.Added) != 1 || !got.Added[0].Equal(d.Added[0]) {
+		t.Errorf("added = %v", got.Added)
+	}
+}
+
+func TestDecodeStatusDeltaRejectsOtherAtoms(t *testing.T) {
+	for _, a := range []hocl.Atom{
+		hocl.Int(1),
+		hocl.Tuple{hocl.Ident("T1"), hocl.NewSolution()},              // full snapshot
+		hocl.Tuple{KeySTATDELTA, hocl.Ident("T1")},                    // short
+		hocl.Tuple{KeyTRIGGER, hocl.Str("a1")}, // marker
+		hocl.Tuple{ // right arity, wrong element types
+			KeySTATDELTA, hocl.Str("T1"), hocl.Int(0), hocl.Int(0),
+			hocl.List{}, hocl.List{}, hocl.Bool(false),
+		},
+		hocl.Tuple{ // non-Int removal hash
+			KeySTATDELTA, hocl.Ident("T1"), hocl.Int(0), hocl.Int(0),
+			hocl.List{hocl.Str("nope")}, hocl.List{}, hocl.Bool(false),
+		},
+	} {
+		if _, ok := DecodeStatusDelta(a); ok {
+			t.Errorf("decoded non-delta atom %v", a)
+		}
+	}
+}
+
+func TestStatusEncoderFirstPushIsFullSnapshot(t *testing.T) {
+	e := &StatusEncoder{Task: "T3"}
+	atoms := statusAtoms()
+	payload := e.Encode(atoms, false)
+	if len(payload) != 1 {
+		t.Fatalf("payload = %v", payload)
+	}
+	tp, ok := payload[0].(hocl.Tuple)
+	if !ok || len(tp) != 2 || !tp[0].Equal(hocl.Ident("T3")) {
+		t.Fatalf("first push is not a full snapshot tuple: %v", payload[0])
+	}
+	sub, ok := tp[1].(*hocl.Solution)
+	if !ok || sub.Len() != len(atoms) {
+		t.Fatalf("snapshot sub = %v", tp[1])
+	}
+	// Unchanged state: deduplicated.
+	if p := e.Encode(atoms, false); p != nil {
+		t.Errorf("unchanged state re-pushed: %v", p)
+	}
+}
+
+func TestStatusEncoderEmitsDeltaForSmallChange(t *testing.T) {
+	e := &StatusEncoder{Task: "T3"}
+	atoms := statusAtoms()
+	e.Encode(atoms, false)
+
+	// One tuple changes: RES gains a result.
+	oldRES := atoms[3]
+	newRES := hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("out"))}
+	atoms[3] = newRES
+	payload := e.Encode(atoms, true)
+	if len(payload) != 1 {
+		t.Fatalf("payload = %v", payload)
+	}
+	d, ok := DecodeStatusDelta(payload[0])
+	if !ok {
+		t.Fatalf("change did not encode as delta: %v", payload[0])
+	}
+	if len(d.RemovedHashes) != 1 || d.RemovedHashes[0] != hocl.AtomHash(oldRES) {
+		t.Errorf("removed = %v, want hash of %v", d.RemovedHashes, oldRES)
+	}
+	if len(d.Added) != 1 || !d.Added[0].Equal(newRES) {
+		t.Errorf("added = %v", d.Added)
+	}
+	if !d.Inert {
+		t.Error("inert flag lost")
+	}
+	if d.Base != hocl.Fingerprint(statusAtoms()...) || d.Next != hocl.Fingerprint(atoms...) {
+		t.Error("delta fingerprints do not anchor the old and new states")
+	}
+}
+
+func TestStatusEncoderFallsBackToFullOnLargeChange(t *testing.T) {
+	e := &StatusEncoder{Task: "T3"}
+	e.Encode(statusAtoms(), false)
+
+	// Everything changes: a delta would ship more than a snapshot.
+	replaced := []hocl.Atom{
+		hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("a"))},
+		hocl.Tuple{KeyIN, hocl.NewSolution(hocl.Str("b"))},
+	}
+	payload := e.Encode(replaced, false)
+	if len(payload) != 1 {
+		t.Fatalf("payload = %v", payload)
+	}
+	if _, ok := DecodeStatusDelta(payload[0]); ok {
+		t.Fatal("full-rewrite state encoded as delta")
+	}
+	tp, ok := payload[0].(hocl.Tuple)
+	if !ok || len(tp) != 2 {
+		t.Fatalf("fallback is not a full snapshot: %v", payload[0])
+	}
+}
+
+func TestStatusEncoderResetForcesFullSnapshot(t *testing.T) {
+	e := &StatusEncoder{Task: "T3"}
+	atoms := statusAtoms()
+	e.Encode(atoms, false)
+	atoms[3] = hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("out"))}
+	if _, ok := DecodeStatusDelta(e.Encode(atoms, false)[0]); !ok {
+		t.Fatal("expected a delta before Reset")
+	}
+	e.Reset()
+	payload := e.Encode(atoms, false)
+	if len(payload) != 1 {
+		t.Fatalf("payload = %v", payload)
+	}
+	if _, ok := DecodeStatusDelta(payload[0]); ok {
+		t.Error("post-Reset push is a delta, want full snapshot")
+	}
+}
+
+// TestStatusEncoderSnapshotsAddedAtoms: delta payloads must be frozen —
+// mutating the agent's live solution after encoding must not reach atoms
+// already on the wire.
+func TestStatusEncoderSnapshotsAddedAtoms(t *testing.T) {
+	e := &StatusEncoder{Task: "T3"}
+	atoms := statusAtoms()
+	e.Encode(atoms, false)
+	live := hocl.NewSolution(hocl.Str("out"))
+	atoms[3] = hocl.Tuple{KeyRES, live}
+	payload := e.Encode(atoms, false)
+	d, ok := DecodeStatusDelta(payload[0])
+	if !ok {
+		t.Fatal("expected delta")
+	}
+	live.Add(hocl.Str("late-mutation"))
+	added := d.Added[0].(hocl.Tuple)[1].(*hocl.Solution)
+	if added.Len() != 1 {
+		t.Errorf("wire payload observed a post-encode mutation: %v", added)
+	}
+}

@@ -14,10 +14,31 @@
 //
 // Delivery latency is modelled on the cluster clock, so broker choice
 // shapes experiment timings the same way it does in the paper.
+//
+// # Sharding
+//
+// The broker is partitioned into independent shards (DESIGN.md "Broker
+// internals"). Every topic routes through exactly one shard, selected by
+// hashing its session-namespace prefix (ShardKey): all topics of one
+// Manager session — "wf3.sa.T1", "wf3.ginflow.space" — share a shard, so
+// a session's messages queue only behind their own session's traffic,
+// while concurrent sessions spread over the shard set instead of
+// contending on one lock and one modelled middleware occupancy. Topics
+// outside a session namespace share the default shard, which keeps
+// single-run timings identical at any shard count.
+//
+// # Batch delivery
+//
+// Deliveries are batched per subscriber: the broker accumulates a
+// subscriber's pending messages and hands over everything due as one
+// []Message (Subscription.Batches), so a burst of publishes costs one
+// hand-off instead of one channel operation per message. The classic
+// per-message feed (Subscription.C) remains as a flattening adapter.
 package mq
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -75,7 +96,8 @@ type Broker interface {
 	// publishing.
 	PublishAtoms(topic string, atoms []hocl.Atom) error
 	// Subscribe registers a consumer. Messages published after the
-	// subscription are delivered on C.
+	// subscription are delivered on C (per message) or Batches (in
+	// due-order batches).
 	Subscribe(topic string) (*Subscription, error)
 	// Published returns the total number of messages accepted, an
 	// instrumentation counter for the experiment reports.
@@ -85,16 +107,24 @@ type Broker interface {
 	// long-lived broker multiplexing namespaced workflow runs.
 	PublishedPrefix(prefix string) int64
 	// Topics returns the topics under the given prefix that still hold
-	// broker state (subscriber lists, retained logs, counters), sorted.
-	// An empty prefix lists everything.
+	// broker state (subscriber lists, retained logs, counters) on any
+	// shard, sorted. An empty prefix lists everything.
 	Topics(prefix string) []string
 	// PurgeTopics drops all broker state for topics sharing the given
-	// prefix — subscriber registrations, retained logs and counters —
-	// and reports how many topics were purged. Sessions call it on
-	// completion so a long-lived broker does not accumulate state for
-	// every workflow ever run. Purging does not close subscriber
-	// channels; consumers still own their Subscription lifecycles.
+	// prefix — subscriber registrations, retained logs and counters, on
+	// every shard — and reports how many topics were purged. Sessions
+	// call it on completion so a long-lived broker does not accumulate
+	// state for every workflow ever run. Purging does not close
+	// subscriber channels; consumers still own their Subscription
+	// lifecycles.
 	PurgeTopics(prefix string) int
+	// ShardCount returns the number of independent shards the broker
+	// routes topics through.
+	ShardCount() int
+	// ShardTopics returns the topics under prefix that hold state on one
+	// specific shard, sorted — the per-shard view of Topics, for
+	// observability and leak checks.
+	ShardTopics(shard int, prefix string) []string
 	// Close shuts the broker down; subsequent publishes fail.
 	Close() error
 }
@@ -110,206 +140,399 @@ type Replayable interface {
 	Log(topic string) []Message
 }
 
-// Subscription is one consumer's feed.
-type Subscription struct {
-	ch     chan Message
-	cancel func()
-	once   sync.Once
+// DefaultShards is the default number of broker shards. Topics outside a
+// session namespace all share one shard, so the default changes nothing
+// for single-run setups; concurrent Manager sessions spread over the
+// shard set.
+const DefaultShards = 8
+
+// ShardKey extracts the routing key of a topic: its session-namespace
+// prefix ("wf<id>.", as minted by the Manager) when present, else the
+// empty default key. Keying on the namespace keeps all of one session's
+// topics on one shard — a session's delivery order and middleware
+// occupancy are self-contained — while different sessions hash apart.
+func ShardKey(topic string) string {
+	if len(topic) > 3 && topic[0] == 'w' && topic[1] == 'f' {
+		i := 2
+		for i < len(topic) && topic[i] >= '0' && topic[i] <= '9' {
+			i++
+		}
+		if i > 2 && i < len(topic) && topic[i] == '.' {
+			return topic[:i+1]
+		}
+	}
+	return ""
 }
 
-// C returns the delivery channel. It is never closed; consumers should
-// select against their own shutdown signal.
-func (s *Subscription) C() <-chan Message { return s.ch }
-
-// Cancel detaches the consumer; pending deliveries are dropped, which is
-// how a crashed agent loses its in-flight messages on a queue broker.
-func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
-
-// subscriberBuffer bounds each consumer feed. Publishers block when a
-// consumer falls this far behind (backpressure).
+// subscriberBuffer bounds the per-message compatibility feed (C); the
+// batch path hands off synchronously and buffers pending messages
+// internally instead.
 const subscriberBuffer = 4096
 
 // ErrClosed is returned by operations on a closed broker.
 var ErrClosed = fmt.Errorf("mq: broker closed")
 
-// common implements the shared pub/sub core. Each message is delivered
-// after the broker's modelled latency, measured from its publication:
-// deliveries are pipelined (a burst of publishes arrives one latency
-// later, not serialized behind each other) while per-publisher FIFO order
-// is preserved, like an ActiveMQ queue or a Kafka partition. Order
-// preservation matters: agents replace their status in the shared space,
-// so a stale update must never overtake a fresh one.
-type common struct {
-	clock   *cluster.Clock
-	latency float64 // model seconds per message (propagation)
-	svcTime float64 // model seconds of broker occupancy per message
+// timedMsg pairs a message with its earliest real-time delivery instant.
+type timedMsg struct {
+	msg Message
+	due time.Time
+}
 
-	mu     sync.RWMutex
-	closed bool
-	subs   map[string][]*subscriber
-	nextID int64
+// shard is one independent partition of the broker: its own subscriber
+// table, its own per-topic counters and its own modelled middleware
+// occupancy. Messages on different shards never queue behind each other.
+type shard struct {
+	mu   sync.RWMutex
+	subs map[string][]*subscriber
 
-	// qmu serialises the broker-occupancy bookkeeping: the broker is a
-	// single shared middleware instance (as in the paper's deployment),
-	// so bursts of messages queue behind each other. nextFree is the
-	// real-time instant the broker finishes its current backlog. The
-	// per-topic publish counters piggyback on the same critical section
-	// (deliver already holds it exactly once per accepted message).
+	// qmu serialises the occupancy bookkeeping of this shard: a shard
+	// models one middleware instance (partition), so its messages queue
+	// behind each other. nextFree is the real-time instant the shard
+	// finishes its current backlog. The per-topic publish counters
+	// piggyback on the same critical section.
 	qmu      sync.Mutex
 	nextFree time.Time
 	perTopic map[string]int64
+}
 
+// common implements the shared sharded pub/sub core. Each message is
+// delivered after the broker's modelled latency, measured from its
+// publication: deliveries are pipelined (a burst of publishes arrives one
+// latency later, not serialized behind each other) while per-publisher
+// FIFO order per topic is preserved, like an ActiveMQ queue or a Kafka
+// partition. Order preservation matters: agents replace their status in
+// the shared space, so a stale update must never overtake a fresh one.
+type common struct {
+	clock   *cluster.Clock
+	latency float64 // model seconds per message (propagation)
+	// svcTime is the modelled broker occupancy per message (float64
+	// bits): the throughput bottleneck that makes message-heavy
+	// workloads pay per message. Atomic so SetServiceTime does not
+	// contend with delivery.
+	svcTime atomic.Uint64
+
+	shards []*shard
+
+	mu     sync.RWMutex
+	closed bool
+
+	nextID    atomic.Int64
 	published atomic.Int64
 }
 
-type timedMsg struct {
-	msg Message
-	due time.Time // earliest real-time delivery instant
+func newCommon(clock *cluster.Clock, latency, svcTime float64, nshards int) *common {
+	if nshards <= 0 {
+		nshards = DefaultShards
+	}
+	c := &common{clock: clock, latency: latency, shards: make([]*shard, nshards)}
+	c.svcTime.Store(math.Float64bits(svcTime))
+	for i := range c.shards {
+		c.shards[i] = &shard{subs: map[string][]*subscriber{}, perTopic: map[string]int64{}}
+	}
+	return c
 }
 
+// shardFor routes a topic to its shard by FNV-1a over its ShardKey.
+func (c *common) shardFor(topic string) *shard {
+	return c.shards[c.shardIndex(topic)]
+}
+
+func (c *common) shardIndex(topic string) int {
+	key := ShardKey(topic)
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return int(h % uint64(len(c.shards)))
+}
+
+// ShardCount returns the number of shards.
+func (c *common) ShardCount() int { return len(c.shards) }
+
+// subscriber is one consumer's delivery state: an unbounded pending
+// queue filled by publishers and drained by a per-subscriber goroutine
+// that hands due messages over in batches.
 type subscriber struct {
-	id   int64
-	in   chan timedMsg // ordered internal queue
-	ch   chan Message  // consumer-facing feed
+	id int64
+
+	mu    sync.Mutex
+	queue []timedMsg
+	spare []timedMsg // recycled backing array for queue swaps
+
+	wake chan struct{} // cap 1: "queue is non-empty" signal
+	out  chan []Message
 	done chan struct{}
+
+	// bufs double-buffer the delivered batch slices: the consumer owns a
+	// delivered slice only until its next receive from out, so the two
+	// buffers alternate without allocation in steady state.
+	bufs [2][]Message
+	cur  int
+
+	// flat is the per-message compatibility feed, materialised on first
+	// use of Subscription.C.
+	flatOnce sync.Once
+	flat     chan Message
 }
 
-// drain delivers queued messages in order, each no earlier than its due
-// instant. Because due instants are non-decreasing in enqueue order,
-// waiting for the head never delays a message behind a later one.
+// enqueue appends a delivery without blocking the publisher.
+func (s *subscriber) enqueue(tm timedMsg) {
+	s.mu.Lock()
+	s.queue = append(s.queue, tm)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain moves pending messages to the consumer in due-order batches: it
+// swaps the whole pending queue out under the lock (recycling the backing
+// arrays), waits for the head's due instant, then hands over every
+// message already due as one batch. Because due instants are
+// non-decreasing in enqueue order, waiting for the head never delays a
+// message behind a later one.
 func (s *subscriber) drain() {
 	for {
 		select {
 		case <-s.done:
 			return
-		case tm := <-s.in:
-			if d := time.Until(tm.due); d > 0 {
-				time.Sleep(d)
+		case <-s.wake:
+		}
+		for {
+			s.mu.Lock()
+			batch := s.queue
+			if len(batch) == 0 {
+				s.mu.Unlock()
+				break
 			}
-			select {
-			case s.ch <- tm.msg:
-			case <-s.done:
+			// Hand the spare array over to the queue and drop our
+			// reference: the queue now owns it exclusively, so the batch
+			// being flushed can never alias the array publishers append
+			// to. The flushed batch's array becomes the next spare.
+			s.queue = s.spare[:0]
+			s.spare = nil
+			s.mu.Unlock()
+			if !s.flush(batch) {
 				return
+			}
+			s.spare = batch[:0]
+		}
+	}
+}
+
+// flush delivers one swapped-out run of pending messages, splitting it at
+// due boundaries; it reports false when the subscription was cancelled.
+func (s *subscriber) flush(batch []timedMsg) bool {
+	for len(batch) > 0 {
+		if d := time.Until(batch[0].due); d > 0 {
+			time.Sleep(d)
+		}
+		now := time.Now()
+		cut := 1
+		for cut < len(batch) && !batch[cut].due.After(now) {
+			cut++
+		}
+		buf := s.bufs[s.cur][:0]
+		for i := 0; i < cut; i++ {
+			buf = append(buf, batch[i].msg)
+		}
+		s.bufs[s.cur] = buf
+		select {
+		case s.out <- buf:
+			s.cur = 1 - s.cur
+		case <-s.done:
+			return false
+		}
+		batch = batch[cut:]
+	}
+	return true
+}
+
+// flatten adapts the batch hand-off to the per-message C feed.
+func (s *subscriber) flatten() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case batch := <-s.out:
+			for _, m := range batch {
+				select {
+				case s.flat <- m:
+				case <-s.done:
+					return
+				}
 			}
 		}
 	}
 }
 
-func newCommon(clock *cluster.Clock, latency, svcTime float64) *common {
-	return &common{
-		clock: clock, latency: latency, svcTime: svcTime,
-		subs: map[string][]*subscriber{}, perTopic: map[string]int64{},
-	}
+// Subscription is one consumer's feed. Consume either per message (C) or
+// in batches (Batches), not both.
+type Subscription struct {
+	sub    *subscriber
+	cancel func()
+	once   sync.Once
 }
 
+// C returns the per-message delivery channel. It is never closed;
+// consumers should select against their own shutdown signal.
+func (s *Subscription) C() <-chan Message {
+	s.sub.flatOnce.Do(func() {
+		s.sub.flat = make(chan Message, subscriberBuffer)
+		go s.sub.flatten()
+	})
+	return s.sub.flat
+}
+
+// Batches returns the batch delivery channel: each receive yields every
+// pending message whose modelled delivery instant has passed, in
+// publication order. The delivered slice is owned by the broker and
+// recycled — the consumer must finish with it (or copy it) before its
+// next receive from the channel, and must not retain it. The channel is
+// never closed; consumers select against their own shutdown signal.
+func (s *Subscription) Batches() <-chan []Message { return s.sub.out }
+
+// Cancel detaches the consumer; pending deliveries are dropped, which is
+// how a crashed agent loses its in-flight messages on a queue broker.
+func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
+
 func (c *common) Subscribe(topic string) (*Subscription, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
-	}
 	sub := &subscriber{
-		id:   c.nextID,
-		in:   make(chan timedMsg, subscriberBuffer),
-		ch:   make(chan Message, subscriberBuffer),
+		id:   c.nextID.Add(1),
+		wake: make(chan struct{}, 1),
+		out:  make(chan []Message),
 		done: make(chan struct{}),
 	}
-	c.nextID++
-	c.subs[topic] = append(c.subs[topic], sub)
+	sh := c.shardFor(topic)
+	// The closed-check must stay atomic with registration (a concurrent
+	// Close between them would hand out a subscription on a closed
+	// broker), so the broker read-lock is held across both; Close's
+	// write-lock then serialises against in-flight subscribes.
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	sh.mu.Lock()
+	sh.subs[topic] = append(sh.subs[topic], sub)
+	sh.mu.Unlock()
+	c.mu.RUnlock()
 	go sub.drain()
 	return &Subscription{
-		ch: sub.ch,
+		sub: sub,
 		cancel: func() {
 			close(sub.done)
-			c.removeSub(topic, sub.id)
+			c.removeSub(sh, topic, sub.id)
 		},
 	}, nil
 }
 
-func (c *common) removeSub(topic string, id int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	list := c.subs[topic]
+func (c *common) removeSub(sh *shard, topic string, id int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.subs[topic]
 	for i, s := range list {
 		if s.id == id {
-			c.subs[topic] = append(list[:i], list[i+1:]...)
+			sh.subs[topic] = append(list[:i], list[i+1:]...)
 			return
 		}
 	}
 }
 
-// deliver fans msg out to the topic's current subscribers. The message
-// first queues for the broker (occupying it for svcTime — the throughput
-// bottleneck that makes message-heavy workloads such as the
-// fully-connected diamond pay per message), then propagates for latency.
-// The resulting due instant is monotonically non-decreasing across
-// publishes, so per-subscriber FIFO order is preserved.
+// deliver fans msg out to the topic's current subscribers on its shard.
+// The message first queues for the shard (occupying it for svcTime — the
+// per-partition throughput bottleneck), then propagates for latency. The
+// resulting due instant is monotonically non-decreasing across publishes
+// on one shard, so per-subscriber FIFO order is preserved. Enqueueing
+// never blocks: backpressure moved from the publisher to the consumer's
+// batch hand-off.
 func (c *common) deliver(msg Message) {
+	sh := c.shardFor(msg.Topic)
 	scale := float64(c.clock.Scale())
+	svc := math.Float64frombits(c.svcTime.Load())
 	now := time.Now()
-	c.qmu.Lock()
+	sh.qmu.Lock()
 	start := now
-	if c.nextFree.After(now) {
-		start = c.nextFree
+	if sh.nextFree.After(now) {
+		start = sh.nextFree
 	}
-	c.nextFree = start.Add(time.Duration(c.svcTime * scale))
-	due := c.nextFree.Add(time.Duration(c.latency * scale))
-	c.perTopic[msg.Topic]++
-	c.qmu.Unlock()
+	sh.nextFree = start.Add(time.Duration(svc * scale))
+	due := sh.nextFree.Add(time.Duration(c.latency * scale))
+	sh.perTopic[msg.Topic]++
+	sh.qmu.Unlock()
 
-	c.mu.RLock()
-	targets := append([]*subscriber(nil), c.subs[msg.Topic]...)
-	c.mu.RUnlock()
-	for _, sub := range targets {
-		select {
-		case sub.in <- timedMsg{msg: msg, due: due}:
-		case <-sub.done:
-		}
+	tm := timedMsg{msg: msg, due: due}
+	sh.mu.RLock()
+	for _, sub := range sh.subs[msg.Topic] {
+		sub.enqueue(tm)
 	}
+	sh.mu.RUnlock()
 }
 
 // SetServiceTime overrides the per-message broker occupancy (model
 // seconds). Call before any traffic flows; 0 disables queueing.
 func (c *common) SetServiceTime(s float64) {
-	c.qmu.Lock()
-	defer c.qmu.Unlock()
-	c.svcTime = s
+	c.svcTime.Store(math.Float64bits(s))
 }
 
+// Published returns the total number of messages accepted.
 func (c *common) Published() int64 { return c.published.Load() }
 
 // PublishedPrefix sums the per-topic publish counters over topics with
-// the given prefix. An empty prefix matches everything still counted
-// (purged topics no longer contribute).
+// the given prefix, across all shards. An empty prefix matches everything
+// still counted (purged topics no longer contribute).
 func (c *common) PublishedPrefix(prefix string) int64 {
-	c.qmu.Lock()
-	defer c.qmu.Unlock()
 	var n int64
-	for topic, count := range c.perTopic {
-		if strings.HasPrefix(topic, prefix) {
-			n += count
+	for _, sh := range c.shards {
+		sh.qmu.Lock()
+		for topic, count := range sh.perTopic {
+			if strings.HasPrefix(topic, prefix) {
+				n += count
+			}
 		}
+		sh.qmu.Unlock()
 	}
 	return n
 }
 
-// Topics lists topics under prefix that hold subscriber or counter state.
-func (c *common) Topics(prefix string) []string {
-	seen := map[string]bool{}
-	c.mu.RLock()
-	for topic, list := range c.subs {
+// shardTopics collects the topics under prefix holding subscriber or
+// counter state on one shard.
+func (c *common) shardTopics(sh *shard, prefix string, seen map[string]bool) {
+	sh.mu.RLock()
+	for topic, list := range sh.subs {
 		if len(list) > 0 && strings.HasPrefix(topic, prefix) {
 			seen[topic] = true
 		}
 	}
-	c.mu.RUnlock()
-	c.qmu.Lock()
-	for topic := range c.perTopic {
+	sh.mu.RUnlock()
+	sh.qmu.Lock()
+	for topic := range sh.perTopic {
 		if strings.HasPrefix(topic, prefix) {
 			seen[topic] = true
 		}
 	}
-	c.qmu.Unlock()
+	sh.qmu.Unlock()
+}
+
+// Topics lists topics under prefix that hold subscriber or counter state
+// on any shard.
+func (c *common) Topics(prefix string) []string {
+	seen := map[string]bool{}
+	for _, sh := range c.shards {
+		c.shardTopics(sh, prefix, seen)
+	}
+	return sortedKeys(seen)
+}
+
+// ShardTopics lists topics under prefix holding state on the given shard.
+func (c *common) ShardTopics(shard int, prefix string) []string {
+	seen := map[string]bool{}
+	c.shardTopics(c.shards[shard], prefix, seen)
+	return sortedKeys(seen)
+}
+
+func sortedKeys(seen map[string]bool) []string {
 	out := make([]string, 0, len(seen))
 	for topic := range seen {
 		out = append(out, topic)
@@ -319,39 +542,43 @@ func (c *common) Topics(prefix string) []string {
 }
 
 // PurgeTopics drops subscriber registrations and counters for topics
-// with the given prefix. Subscriber done-channels are left untouched —
-// closing them is the owning Subscription's job — so a purged consumer
-// simply stops receiving.
+// with the given prefix on every shard. Subscriber done-channels are left
+// untouched — closing them is the owning Subscription's job — so a purged
+// consumer simply stops receiving.
 func (c *common) PurgeTopics(prefix string) int {
 	return len(c.purge(prefix))
 }
 
-// purge removes the common state under prefix and returns the set of
-// topics that held any, so broker variants can union in their own state
-// (the log broker adds its retained logs) without re-scanning.
+// purge removes the common state under prefix across shards and returns
+// the set of topics that held any, so broker variants can union in their
+// own state (the log broker adds its retained logs) without re-scanning.
 func (c *common) purge(prefix string) map[string]bool {
 	purged := map[string]bool{}
-	c.mu.Lock()
-	for topic, list := range c.subs {
-		if strings.HasPrefix(topic, prefix) {
-			if len(list) > 0 {
-				purged[topic] = true
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for topic, list := range sh.subs {
+			if strings.HasPrefix(topic, prefix) {
+				if len(list) > 0 {
+					purged[topic] = true
+				}
+				delete(sh.subs, topic)
 			}
-			delete(c.subs, topic)
 		}
-	}
-	c.mu.Unlock()
-	c.qmu.Lock()
-	for topic := range c.perTopic {
-		if strings.HasPrefix(topic, prefix) {
-			purged[topic] = true
-			delete(c.perTopic, topic)
+		sh.mu.Unlock()
+		sh.qmu.Lock()
+		for topic := range sh.perTopic {
+			if strings.HasPrefix(topic, prefix) {
+				purged[topic] = true
+				delete(sh.perTopic, topic)
+			}
 		}
+		sh.qmu.Unlock()
 	}
-	c.qmu.Unlock()
 	return purged
 }
 
+// Close shuts the broker down; subsequent publishes and subscriptions
+// fail with ErrClosed.
 func (c *common) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -383,16 +610,23 @@ const DefaultQueueLatency = 2.0
 
 // DefaultQueueServiceTime is the broker occupancy per message for the
 // queue broker: the throughput term behind Fig. 12(b)'s fully-connected
-// slowdown (hundreds of messages per layer share one middleware).
+// slowdown (hundreds of messages per layer share one middleware
+// partition).
 const DefaultQueueServiceTime = 0.01
 
-// NewQueueBroker builds a queue broker on the given clock. latency <= 0
-// takes DefaultQueueLatency.
+// NewQueueBroker builds a queue broker on the given clock with
+// DefaultShards shards. latency <= 0 takes DefaultQueueLatency.
 func NewQueueBroker(clock *cluster.Clock, latency float64) *QueueBroker {
+	return NewQueueBrokerSharded(clock, latency, DefaultShards)
+}
+
+// NewQueueBrokerSharded builds a queue broker with an explicit shard
+// count (<= 0 takes DefaultShards; 1 reproduces the unsharded broker).
+func NewQueueBrokerSharded(clock *cluster.Clock, latency float64, shards int) *QueueBroker {
 	if latency <= 0 {
 		latency = DefaultQueueLatency
 	}
-	return &QueueBroker{common: newCommon(clock, latency, DefaultQueueServiceTime)}
+	return &QueueBroker{common: newCommon(clock, latency, DefaultQueueServiceTime, shards)}
 }
 
 // Publish delivers to current subscribers only; nothing is retained.
@@ -415,29 +649,49 @@ func (b *QueueBroker) PublishAtoms(topic string, atoms []hocl.Atom) error {
 	return nil
 }
 
+// logShard is one shard's slice of the retained logs, so log appends
+// contend only within a shard, like Kafka partitions.
+type logShard struct {
+	mu   sync.RWMutex
+	logs map[string][]Message
+}
+
 // LogBroker is the Kafka-like broker: append-only persisted topics with
-// replay, at a higher per-message cost.
+// replay, at a higher per-message cost. Logs are sharded alongside the
+// delivery state: a topic's log lives on the same shard its deliveries
+// route through.
 type LogBroker struct {
 	*common
-	logMu sync.RWMutex
-	logs  map[string][]Message
+	logShards []*logShard
 }
 
 // DefaultLogLatency is the modelled per-message latency of the log
 // broker: 4× the queue broker, matching the paper's Fig. 14 observation.
 const DefaultLogLatency = 4 * DefaultQueueLatency // 8.0
 
-// DefaultLogServiceTime: persistence costs throughput as well; the 4x
-// per-message ratio carries over (Fig. 14).
+// DefaultLogServiceTime is the broker occupancy per message of the log
+// broker: persistence costs throughput as well; the 4x per-message ratio
+// carries over (Fig. 14).
 const DefaultLogServiceTime = 4 * DefaultQueueServiceTime // 0.04
 
-// NewLogBroker builds a log broker on the given clock. latency <= 0
-// takes DefaultLogLatency.
+// NewLogBroker builds a log broker on the given clock with DefaultShards
+// shards. latency <= 0 takes DefaultLogLatency.
 func NewLogBroker(clock *cluster.Clock, latency float64) *LogBroker {
+	return NewLogBrokerSharded(clock, latency, DefaultShards)
+}
+
+// NewLogBrokerSharded builds a log broker with an explicit shard count
+// (<= 0 takes DefaultShards; 1 reproduces the unsharded broker).
+func NewLogBrokerSharded(clock *cluster.Clock, latency float64, shards int) *LogBroker {
 	if latency <= 0 {
 		latency = DefaultLogLatency
 	}
-	return &LogBroker{common: newCommon(clock, latency, DefaultLogServiceTime), logs: map[string][]Message{}}
+	c := newCommon(clock, latency, DefaultLogServiceTime, shards)
+	ls := make([]*logShard, len(c.shards))
+	for i := range ls {
+		ls[i] = &logShard{logs: map[string][]Message{}}
+	}
+	return &LogBroker{common: c, logShards: ls}
 }
 
 // Publish appends to the topic log, then delivers to subscribers.
@@ -457,34 +711,44 @@ func (b *LogBroker) append(msg Message) error {
 		return err
 	}
 	b.published.Add(1)
-	b.logMu.Lock()
-	msg.Offset = len(b.logs[msg.Topic])
-	b.logs[msg.Topic] = append(b.logs[msg.Topic], msg)
-	b.logMu.Unlock()
+	ls := b.logShards[b.shardIndex(msg.Topic)]
+	ls.mu.Lock()
+	msg.Offset = len(ls.logs[msg.Topic])
+	ls.logs[msg.Topic] = append(ls.logs[msg.Topic], msg)
+	ls.mu.Unlock()
 	b.deliver(msg)
 	return nil
 }
 
 // Topics lists topics under prefix holding subscriber, counter or log
-// state.
+// state on any shard.
 func (b *LogBroker) Topics(prefix string) []string {
 	seen := map[string]bool{}
-	for _, t := range b.common.Topics(prefix) {
-		seen[t] = true
+	for i, sh := range b.shards {
+		b.shardTopics(sh, prefix, seen)
+		b.logTopics(i, prefix, seen)
 	}
-	b.logMu.RLock()
-	for topic := range b.logs {
+	return sortedKeys(seen)
+}
+
+// ShardTopics lists topics under prefix holding subscriber, counter or
+// log state on the given shard.
+func (b *LogBroker) ShardTopics(shard int, prefix string) []string {
+	seen := map[string]bool{}
+	b.shardTopics(b.shards[shard], prefix, seen)
+	b.logTopics(shard, prefix, seen)
+	return sortedKeys(seen)
+}
+
+func (b *LogBroker) logTopics(shard int, prefix string, seen map[string]bool) {
+	ls := b.logShards[shard]
+	ls.mu.RLock()
+	for topic := range ls.logs {
 		if strings.HasPrefix(topic, prefix) {
 			seen[topic] = true
 		}
 	}
-	b.logMu.RUnlock()
-	out := make([]string, 0, len(seen))
-	for topic := range seen {
-		out = append(out, topic)
-	}
-	sort.Strings(out)
-	return out
+	ls.mu.RUnlock()
 }
 
 // PurgeTopics additionally drops the retained logs under prefix — the
@@ -492,14 +756,16 @@ func (b *LogBroker) Topics(prefix string) []string {
 // a long-lived log broker (replay is only meaningful within a session).
 func (b *LogBroker) PurgeTopics(prefix string) int {
 	purged := b.common.purge(prefix)
-	b.logMu.Lock()
-	for topic := range b.logs {
-		if strings.HasPrefix(topic, prefix) {
-			purged[topic] = true
-			delete(b.logs, topic)
+	for _, ls := range b.logShards {
+		ls.mu.Lock()
+		for topic := range ls.logs {
+			if strings.HasPrefix(topic, prefix) {
+				purged[topic] = true
+				delete(ls.logs, topic)
+			}
 		}
+		ls.mu.Unlock()
 	}
-	b.logMu.Unlock()
 	return len(purged)
 }
 
@@ -507,9 +773,10 @@ func (b *LogBroker) PurgeTopics(prefix string) int {
 // per message so a caller cannot swap molecules inside the log; the atoms
 // themselves are shared (they are frozen by the publish contract).
 func (b *LogBroker) Log(topic string) []Message {
-	b.logMu.RLock()
-	defer b.logMu.RUnlock()
-	out := append([]Message(nil), b.logs[topic]...)
+	ls := b.logShards[b.shardIndex(topic)]
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	out := append([]Message(nil), ls.logs[topic]...)
 	for i := range out {
 		if out[i].Atoms != nil {
 			out[i].Atoms = append([]hocl.Atom(nil), out[i].Atoms...)
@@ -526,18 +793,26 @@ var (
 // Kind names a broker implementation in configs and CLIs.
 type Kind string
 
+// The broker kinds of the paper's deployment (§IV-A).
 const (
 	KindQueue Kind = "activemq"
 	KindLog   Kind = "kafka"
 )
 
-// NewBroker builds a broker of the given kind with its default latency.
+// NewBroker builds a broker of the given kind with its default latency
+// and DefaultShards shards.
 func NewBroker(kind Kind, clock *cluster.Clock) (Broker, error) {
+	return NewBrokerSharded(kind, clock, DefaultShards)
+}
+
+// NewBrokerSharded builds a broker of the given kind with its default
+// latency and an explicit shard count (<= 0 takes DefaultShards).
+func NewBrokerSharded(kind Kind, clock *cluster.Clock, shards int) (Broker, error) {
 	switch kind {
 	case KindQueue:
-		return NewQueueBroker(clock, 0), nil
+		return NewQueueBrokerSharded(clock, 0, shards), nil
 	case KindLog:
-		return NewLogBroker(clock, 0), nil
+		return NewLogBrokerSharded(clock, 0, shards), nil
 	default:
 		return nil, fmt.Errorf("mq: unknown broker kind %q (want %q or %q)", kind, KindQueue, KindLog)
 	}

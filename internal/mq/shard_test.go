@@ -1,0 +1,312 @@
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ginflow/internal/cluster"
+	"ginflow/internal/hocl"
+)
+
+func TestShardKey(t *testing.T) {
+	cases := map[string]string{
+		"wf3.sa.T1":         "wf3.",
+		"wf3.ginflow.space": "wf3.",
+		"wf12345.sa.T1":     "wf12345.",
+		"sa.T1":             "",
+		"ginflow.space":     "",
+		"wf.sa.T1":          "", // no digits
+		"wfX.sa.T1":         "",
+		"wf3":               "", // no dot after the id
+		"workflow.topic":    "",
+		"":                  "",
+	}
+	for topic, want := range cases {
+		if got := ShardKey(topic); got != want {
+			t.Errorf("ShardKey(%q) = %q, want %q", topic, got, want)
+		}
+	}
+}
+
+// TestSessionTopicsShareAShard: all topics of one session namespace
+// route to the same shard (a session's traffic is self-contained), and
+// an un-namespaced topic routes to the default shard regardless of name.
+func TestSessionTopicsShareAShard(t *testing.T) {
+	b := NewQueueBrokerSharded(testClock(), 0.001, 8)
+	if b.ShardCount() != 8 {
+		t.Fatalf("ShardCount = %d", b.ShardCount())
+	}
+	s1 := b.shardIndex("wf7.sa.T1")
+	if got := b.shardIndex("wf7.sa.T99"); got != s1 {
+		t.Errorf("inbox topics of one session on different shards: %d vs %d", got, s1)
+	}
+	if got := b.shardIndex("wf7.ginflow.space"); got != s1 {
+		t.Errorf("space topic on a different shard than the inboxes: %d vs %d", got, s1)
+	}
+	if got, want := b.shardIndex("sa.T1"), b.shardIndex("ginflow.space"); got != want {
+		t.Errorf("un-namespaced topics split across shards: %d vs %d", got, want)
+	}
+}
+
+// TestCrossShardDelivery: pub/sub works for namespaced topics on every
+// shard, and sessions spread over more than one shard.
+func TestCrossShardDelivery(t *testing.T) {
+	b := NewQueueBrokerSharded(testClock(), 0.001, 4)
+	const sessions = 16
+	subs := make([]*Subscription, sessions)
+	shardsHit := map[int]bool{}
+	for i := range subs {
+		topic := fmt.Sprintf("wf%d.sa.T1", i+1)
+		shardsHit[b.shardIndex(topic)] = true
+		s, err := b.Subscribe(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	if len(shardsHit) < 2 {
+		t.Errorf("16 sessions all hashed to %d shard(s)", len(shardsHit))
+	}
+	for i := range subs {
+		if err := b.Publish(fmt.Sprintf("wf%d.sa.T1", i+1), fmt.Sprintf("m%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range subs {
+		m := recvOne(t, s)
+		if want := fmt.Sprintf("m%d", i+1); m.Payload != want {
+			t.Errorf("session %d received %q, want %q", i+1, m.Payload, want)
+		}
+	}
+}
+
+// TestPurgeTopicsAcrossShards is the regression test for namespace
+// cleanup on a sharded broker: purging one session's prefix must remove
+// its state from whichever shard held it and leave every other shard's
+// state — and every other session — untouched, for subscriber tables,
+// counters and retained logs alike.
+func TestPurgeTopicsAcrossShards(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewLogBrokerSharded(clock, 1e-9, 4)
+	const sessions = 12
+	for i := 1; i <= sessions; i++ {
+		topic := fmt.Sprintf("wf%d.sa.T1", i)
+		if _, err := b.Subscribe(topic); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Publish(topic, "X"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Publish(fmt.Sprintf("wf%d.ginflow.space", i), "Y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := b.PurgeTopics("wf1."); n != 2 {
+		t.Errorf("purged %d topics, want 2", n)
+	}
+	// No shard may retain any state for the purged namespace.
+	for shard := 0; shard < b.ShardCount(); shard++ {
+		if got := b.ShardTopics(shard, "wf1."); len(got) != 0 {
+			t.Errorf("shard %d retains purged topics: %v", shard, got)
+		}
+	}
+	if got := b.Topics("wf1."); len(got) != 0 {
+		t.Errorf("Topics(wf1.) = %v after purge", got)
+	}
+	if got := b.Log("wf1.sa.T1"); len(got) != 0 {
+		t.Errorf("purged log survives: %v", got)
+	}
+	if got := b.PublishedPrefix("wf1."); got != 0 {
+		t.Errorf("purged counters survive: %d", got)
+	}
+	// Every other session keeps its two topics, and the per-shard views
+	// union back to the global view.
+	union := map[string]bool{}
+	for shard := 0; shard < b.ShardCount(); shard++ {
+		for _, topic := range b.ShardTopics(shard, "") {
+			if union[topic] {
+				t.Errorf("topic %s appears on more than one shard", topic)
+			}
+			union[topic] = true
+		}
+	}
+	all := b.Topics("")
+	if len(all) != 2*(sessions-1) || len(union) != len(all) {
+		t.Errorf("topics after purge: global %d, shard union %d, want %d", len(all), len(union), 2*(sessions-1))
+	}
+}
+
+// TestShardsIsolateOccupancy: the modelled middleware occupancy is per
+// shard — a burst on one session's shard must not delay another
+// session's delivery, which is the scaling property the sharding exists
+// for.
+func TestShardsIsolateOccupancy(t *testing.T) {
+	clock := cluster.NewClock(time.Millisecond)
+	b := NewQueueBrokerSharded(clock, 1, 64) // 1 model-second latency
+	b.SetServiceTime(5)                      // 5 model seconds occupancy per message
+
+	// Find two session namespaces on different shards.
+	busy, quiet := "wf1.", ""
+	for i := 2; i < 100; i++ {
+		ns := fmt.Sprintf("wf%d.", i)
+		if b.shardIndex(ns+"t") != b.shardIndex(busy+"t") {
+			quiet = ns
+			break
+		}
+	}
+	if quiet == "" {
+		t.Fatal("could not find two namespaces on distinct shards")
+	}
+
+	busySub, _ := b.Subscribe(busy + "t")
+	quietSub, _ := b.Subscribe(quiet + "t")
+	// 40 messages × 5 model seconds back up the busy shard for ~200 ms.
+	for i := 0; i < 40; i++ {
+		if err := b.Publish(busy+"t", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := b.Publish(quiet+"t", "y"); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, quietSub)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("quiet shard delivery took %v: delayed by the busy shard's backlog", elapsed)
+	}
+	_ = busySub
+}
+
+// TestBatchDelivery: a burst of publishes arrives as batches preserving
+// publication order, and the recycled batch slices stay valid until the
+// next receive.
+func TestBatchDelivery(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewQueueBroker(clock, 1e-9)
+	b.SetServiceTime(0)
+	sub, err := b.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = b.Publish("t", fmt.Sprintf("m%d", i))
+		}
+	}()
+	received := 0
+	batches := sub.Batches()
+	sawMulti := false
+	deadline := time.After(5 * time.Second)
+	for received < n {
+		select {
+		case batch := <-batches:
+			if len(batch) > 1 {
+				sawMulti = true
+			}
+			for _, m := range batch {
+				if want := fmt.Sprintf("m%d", received); m.Payload != want {
+					t.Fatalf("out of order: got %q, want %q", m.Payload, want)
+				}
+				received++
+			}
+		case <-deadline:
+			t.Fatalf("received %d of %d", received, n)
+		}
+	}
+	// A burst against a briefly busy consumer should coalesce at least
+	// once; this is the batching the hand-off exists for. (Not asserted
+	// strictly per batch — scheduling decides — but over 500 messages a
+	// single-message-only stream would mean batching never engaged.)
+	if !sawMulti {
+		t.Log("note: no multi-message batch observed (scheduling-dependent)")
+	}
+}
+
+// TestBatchAndFlatFeedsAgree: the per-message C feed is a flattening of
+// the batch feed — same messages, same order.
+func TestBatchAndFlatFeedsAgree(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewQueueBroker(clock, 1e-9)
+	sub1, _ := b.Subscribe("t")
+	sub2, _ := b.Subscribe("t")
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := b.Publish("t", fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flat []string
+	for len(flat) < n {
+		m := recvOne(t, sub1)
+		flat = append(flat, m.Payload)
+	}
+	var batched []string
+	deadline := time.After(5 * time.Second)
+	for len(batched) < n {
+		select {
+		case batch := <-sub2.Batches():
+			for _, m := range batch {
+				batched = append(batched, m.Payload)
+			}
+		case <-deadline:
+			t.Fatalf("batched feed received %d of %d", len(batched), n)
+		}
+	}
+	for i := range flat {
+		if flat[i] != batched[i] {
+			t.Fatalf("feeds disagree at %d: %q vs %q", i, flat[i], batched[i])
+		}
+	}
+}
+
+// TestBatchDeliveryConcurrentPublishers hammers one subscriber from many
+// publishers: no message may be lost or duplicated through the recycled
+// batch buffers (regression for the queue/spare aliasing bug).
+func TestBatchDeliveryConcurrentPublishers(t *testing.T) {
+	clock := cluster.NewClock(time.Nanosecond)
+	b := NewQueueBroker(clock, 1e-9)
+	b.SetServiceTime(0)
+	sub, err := b.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const publishers = 8
+	const perPub = 200
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if err := b.PublishAtoms("t", []hocl.Atom{hocl.Int(int64(p*perPub + i))}); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int64]int, publishers*perPub)
+	total := 0
+	deadline := time.After(10 * time.Second)
+	batches := sub.Batches()
+	for total < publishers*perPub {
+		select {
+		case batch := <-batches:
+			for _, m := range batch {
+				seen[int64(m.Atoms[0].(hocl.Int))]++
+				total++
+			}
+		case <-deadline:
+			t.Fatalf("received %d of %d", total, publishers*perPub)
+		}
+	}
+	wg.Wait()
+	for v, count := range seen {
+		if count != 1 {
+			t.Errorf("message %d delivered %d times", v, count)
+		}
+	}
+}

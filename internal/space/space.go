@@ -3,6 +3,14 @@
 // §IV-A). Service agents push their local solutions back to the space
 // after reductions; the space routes each update "to the right
 // sub-solution" and lets clients observe progress and completion.
+//
+// Status pushes arrive either as full snapshots (a Name:<...> tuple
+// replacing the task's recorded sub-solution) or as deltas
+// (hoclflow.StatusDelta: only the changed top-level atoms), which the
+// space folds into its stored copy. Deltas are anchored by fingerprints;
+// one that does not anchor — unknown task, base mismatch — is dropped
+// and counted, and the last good state is kept (DESIGN.md "Broker
+// internals").
 package space
 
 import (
@@ -28,28 +36,78 @@ func TopicFor(ns string) string {
 	return ns + DefaultTopic
 }
 
+// taskState is one task's recorded status: the sub-solution plus the
+// bookkeeping the delta protocol needs — per-atom hashes aligned with
+// the solution's element order and their incremental multiset combine.
+// Hashes are computed lazily on the first delta, so workflows that only
+// ever push full snapshots never pay for them.
+type taskState struct {
+	sub *hocl.Solution
+	// owned reports whether sub is a space-private shell that may be
+	// mutated in place. A full snapshot arrives frozen and shared with
+	// the publisher (and possibly other subscribers); the first delta
+	// copies the shell before mutating.
+	owned bool
+	// hashed reports whether hashes/msh mirror sub's atoms.
+	hashed bool
+	hashes []uint64
+	msh    hocl.MultisetHash
+}
+
+// ensureHashed (re)builds the per-atom hash mirror from the stored atoms.
+func (st *taskState) ensureHashed() {
+	if st.hashed {
+		return
+	}
+	atoms := st.sub.Atoms()
+	st.hashes = st.hashes[:0]
+	st.msh = hocl.MultisetHash{}
+	for _, a := range atoms {
+		h := hocl.AtomHash(a)
+		st.hashes = append(st.hashes, h)
+		st.msh.Add(h)
+	}
+	st.hashed = true
+}
+
 // Space is the shared multiset. It is safe for concurrent use.
 type Space struct {
 	mu        sync.Mutex
-	tasks     map[string]*hocl.Solution // task name -> latest sub-solution
-	markers   []hocl.Atom               // TRIGGER markers and other global molecules
+	tasks     map[string]*taskState // task name -> latest sub-solution
+	markers   []hocl.Atom           // TRIGGER markers and other global molecules
 	changed   chan struct{}
 	updates   int64
 	malformed int
-	sub       *mq.Subscription
+
+	deltasApplied  int64
+	deltaFallbacks int64
+
+	sub *mq.Subscription
 }
 
 // New returns an empty space.
 func New() *Space {
-	return &Space{tasks: map[string]*hocl.Solution{}, changed: make(chan struct{})}
+	return &Space{tasks: map[string]*taskState{}, changed: make(chan struct{})}
 }
 
-// UpdateTask stores the latest sub-solution pushed by a task's agent.
+// UpdateTask stores the latest sub-solution pushed by a task's agent,
+// replacing any recorded state (the full-snapshot path).
 func (s *Space) UpdateTask(name string, sub *hocl.Solution) {
 	s.mu.Lock()
-	s.tasks[name] = sub
+	s.updateTaskLocked(name, sub)
 	s.bump()
 	s.mu.Unlock()
+}
+
+func (s *Space) updateTaskLocked(name string, sub *hocl.Solution) {
+	st := s.tasks[name]
+	if st == nil {
+		st = &taskState{}
+		s.tasks[name] = st
+	}
+	st.sub = sub
+	st.owned = false
+	st.hashed = false
 }
 
 // AddMarker records a global molecule (e.g. TRIGGER:"id").
@@ -74,6 +132,15 @@ func (s *Space) Updates() int64 {
 	return s.updates
 }
 
+// DeltaStats reports how many delta-encoded status pushes were folded in
+// and how many were refused (unknown task, fingerprint mismatch) — the
+// observability hook for the delta protocol's fallback path.
+func (s *Space) DeltaStats() (applied, fallbacks int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltasApplied, s.deltaFallbacks
+}
+
 // Names returns the task names that have reported into this space, in
 // no particular order — the observable footprint of a session, used to
 // assert that concurrent runs' molecules never cross.
@@ -92,11 +159,11 @@ func (s *Space) Names() []string {
 func (s *Space) Status(name string) hoclflow.Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sub, ok := s.tasks[name]
+	st, ok := s.tasks[name]
 	if !ok {
 		return hoclflow.StatusIdle
 	}
-	return hoclflow.StatusOf(sub)
+	return hoclflow.StatusOf(st.sub)
 }
 
 // Results returns the task's recorded RES contents. The atoms are shared
@@ -105,11 +172,11 @@ func (s *Space) Status(name string) hoclflow.Status {
 func (s *Space) Results(name string) []hocl.Atom {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sub, ok := s.tasks[name]
+	st, ok := s.tasks[name]
 	if !ok {
 		return nil
 	}
-	res := hoclflow.Results(sub)
+	res := hoclflow.Results(st.sub)
 	if res == nil {
 		return nil
 	}
@@ -154,13 +221,32 @@ func (s *Space) Snapshot() *hocl.Solution {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	global := hocl.NewSolution()
-	for name, sub := range s.tasks {
-		global.Add(hocl.Tuple{hocl.Ident(name), sub.SnapshotSolution()})
+	for name, st := range s.tasks {
+		global.Add(hocl.Tuple{hocl.Ident(name), st.sub.SnapshotSolution()})
 	}
 	for _, m := range s.markers {
 		global.Add(hocl.Snapshot(m))
 	}
 	return global
+}
+
+// StateFingerprint hashes the space's observable state — every task's
+// recorded top-level multiset plus the markers — order-insensitively:
+// two spaces that recorded the same states fingerprint equal regardless
+// of how the updates arrived (full snapshots, deltas, or any mix), which
+// is the convergence property the delta protocol is tested against.
+func (s *Space) StateFingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m hocl.MultisetHash
+	for name, st := range s.tasks {
+		fp := hocl.Fingerprint(st.sub.Atoms()...)
+		m.Add(hocl.AtomHash(hocl.Tuple{hocl.Ident(name), hocl.Int(int64(fp))}))
+	}
+	for _, mk := range s.markers {
+		m.Add(hocl.AtomHash(mk))
+	}
+	return m.Fingerprint()
 }
 
 // waitCh returns the channel closed at the next update.
@@ -219,11 +305,13 @@ func (s *Space) Attach(broker mq.Broker, topic string) error {
 }
 
 // Serve consumes status messages from the broker topic until the context
-// ends, attaching first if Attach has not been called. Message payloads
-// are HOCL molecule lists: task tuples (Name:<...>) update the task's
-// sub-solution, anything else is recorded as a marker. Malformed
-// payloads are counted and skipped — a resilient space does not die on a
-// corrupt message.
+// ends, attaching first if Attach has not been called. Messages arrive
+// in broker batches and are folded in under one lock acquisition per
+// batch. Message payloads are HOCL molecule lists: task tuples
+// (Name:<...>) replace the task's sub-solution, STATDELTA tuples patch
+// it, anything else is recorded as a marker. Malformed payloads are
+// counted and skipped — a resilient space does not die on a corrupt
+// message.
 func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error {
 	if err := s.Attach(broker, topic); err != nil {
 		return err
@@ -232,57 +320,192 @@ func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error
 	sub := s.sub
 	s.mu.Unlock()
 	defer sub.Cancel()
+	batches := sub.Batches()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case msg := <-sub.C():
-			s.ApplyMessage(msg)
+		case batch := <-batches:
+			s.ApplyBatch(batch)
 		}
 	}
+}
+
+// ApplyBatch folds a batch of status messages into the space under one
+// lock acquisition and one waiter wakeup, returning how many decoded.
+// The batch slice is not retained — safe to call with a broker-owned
+// batch.
+func (s *Space) ApplyBatch(msgs []mq.Message) int {
+	n := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := int64(0)
+	for i := range msgs {
+		if s.applyMessageLocked(msgs[i], &applied) {
+			n++
+		}
+	}
+	s.finishApplyLocked(applied)
+	return n
 }
 
 // ApplyMessage folds one status message into the space, reporting
 // whether it decoded. Structural payloads are stored by reference — the
 // zero-reparse path; textual payloads are parsed first.
 func (s *Space) ApplyMessage(msg mq.Message) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := int64(0)
+	ok := s.applyMessageLocked(msg, &applied)
+	s.finishApplyLocked(applied)
+	return ok
+}
+
+// finishApplyLocked records applied updates and wakes waiters once —
+// waiters re-check state anyway, so one wakeup per apply call suffices
+// no matter how many updates it folded in. Refused deltas count as
+// nothing.
+func (s *Space) finishApplyLocked(applied int64) {
+	if applied == 0 {
+		return
+	}
+	s.updates += applied
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+func (s *Space) applyMessageLocked(msg mq.Message, applied *int64) bool {
 	if msg.Structural() {
-		s.applyAtoms(msg.Atoms)
+		s.applyAtomsLocked(msg.Atoms, applied)
 		return true
 	}
-	return s.Apply(msg.Payload)
+	atoms, err := hocl.ParseMolecules(msg.Payload)
+	if err != nil {
+		s.malformed++
+		return false
+	}
+	s.applyAtomsLocked(atoms, applied)
+	return true
 }
 
 // Apply folds one textual status payload into the space, reporting
 // whether it parsed.
 func (s *Space) Apply(payload string) bool {
-	atoms, err := hocl.ParseMolecules(payload)
-	if err != nil {
-		s.mu.Lock()
-		s.malformed++
-		s.mu.Unlock()
-		return false
-	}
-	s.applyAtoms(atoms)
-	return true
+	return s.ApplyMessage(mq.Message{Payload: payload})
 }
 
-// applyAtoms routes each molecule: task tuples (Name:<...>) replace the
-// task's recorded sub-solution, anything else is recorded as a marker.
-// The space never mutates stored atoms, so sharing them with the
-// publisher and other consumers is safe.
-func (s *Space) applyAtoms(atoms []hocl.Atom) {
+// applyAtomsLocked routes each molecule: task tuples (Name:<...>)
+// replace the task's recorded sub-solution, STATDELTA tuples patch it,
+// anything else is recorded as a marker. The space never mutates
+// wire atoms, so sharing them with the publisher and other consumers is
+// safe; only space-owned solution shells are patched in place. applied
+// is incremented per folded-in update (refused deltas do not count).
+func (s *Space) applyAtomsLocked(atoms []hocl.Atom, applied *int64) {
 	for _, a := range atoms {
+		if d, ok := hoclflow.DecodeStatusDelta(a); ok {
+			if s.applyDeltaLocked(&d) {
+				*applied++
+			}
+			continue
+		}
 		if tp, ok := a.(hocl.Tuple); ok && len(tp) == 2 {
 			if name, ok := tp[0].(hocl.Ident); ok {
 				if sub, ok := tp[1].(*hocl.Solution); ok {
-					s.UpdateTask(string(name), sub)
+					s.updateTaskLocked(string(name), sub)
+					*applied++
 					continue
 				}
 			}
 		}
-		s.AddMarker(a)
+		s.markers = append(s.markers, a)
+		*applied++
 	}
+}
+
+// applyDeltaLocked folds one delta into the task's recorded state,
+// reporting whether it applied. A delta that does not anchor — unknown
+// task, base fingerprint mismatch, a removal hash the recorded state
+// does not hold, or a Next fingerprint the patch would not produce — is
+// dropped wholly before anything mutates, and counted; the last good
+// state is kept. In-order per-topic delivery makes those cases
+// unreachable in normal operation (the agent's first push of an
+// incarnation is always a full snapshot), so a fallback here indicates a
+// lost or reordered message, and the next full snapshot resynchronises.
+func (s *Space) applyDeltaLocked(d *hoclflow.StatusDelta) bool {
+	st, ok := s.tasks[d.Task]
+	if !ok {
+		s.deltaFallbacks++
+		return false
+	}
+	st.ensureHashed()
+	if st.msh.Fingerprint() != d.Base {
+		s.deltaFallbacks++
+		return false
+	}
+	// Resolve every removal hash and dry-run the whole patch on a copy
+	// of the multiset combine before mutating anything: the drop is
+	// genuinely atomic, including the Next verification (whose failure
+	// is only reachable through an AtomHash collision inside one status
+	// multiset — counted so divergence is observable).
+	var removeIdx []int
+	var taken []bool
+	next := st.msh
+	if len(d.RemovedHashes) > 0 {
+		removeIdx = make([]int, 0, len(d.RemovedHashes))
+		taken = make([]bool, len(st.hashes))
+		for _, h := range d.RemovedHashes {
+			found := -1
+			for j, hh := range st.hashes {
+				if !taken[j] && hh == h {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				s.deltaFallbacks++
+				return false
+			}
+			taken[found] = true
+			removeIdx = append(removeIdx, found)
+			next.Remove(h)
+		}
+	}
+	addedHashes := make([]uint64, len(d.Added))
+	for i, a := range d.Added {
+		addedHashes[i] = hocl.AtomHash(a)
+		next.Add(addedHashes[i])
+	}
+	if next.Fingerprint() != d.Next {
+		s.deltaFallbacks++
+		return false
+	}
+
+	if !st.owned {
+		// First patch of a shared snapshot: copy the shell (atoms stay
+		// shared) so in-place patches never touch the frozen original.
+		st.sub = st.sub.SnapshotSolution()
+		st.owned = true
+	}
+	if len(removeIdx) > 0 {
+		st.sub.RemoveIndices(removeIdx)
+		// Mirror the removal on the hash slice, preserving order the way
+		// RemoveIndices does.
+		kept := st.hashes[:0]
+		for j, h := range st.hashes {
+			if !taken[j] {
+				kept = append(kept, h)
+			}
+		}
+		st.hashes = kept
+	}
+	if len(d.Added) > 0 {
+		st.sub.Add(d.Added...)
+		st.hashes = append(st.hashes, addedHashes...)
+	}
+	st.msh = next
+	st.sub.SetInert(d.Inert)
+	s.deltasApplied++
+	return true
 }
 
 // Malformed returns the number of undecodable payloads seen.
