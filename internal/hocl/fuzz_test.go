@@ -1,6 +1,8 @@
 package hocl
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -53,6 +55,217 @@ func FuzzParseMolecules(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzMatcherDifferential proves the instruction-machine matcher
+// equivalent to the naive recursive reference matcher
+// (reference_test.go) over randomized rule/solution pairs: same
+// match/no-match verdict, same consumed index set, same variable and
+// rest bindings. The seed corpus runs in every plain `go test` (and so
+// under -race in CI); this test is what licensed deleting the
+// continuation-passing matcher, and it now guards the machine.
+func FuzzMatcherDifferential(f *testing.F) {
+	for seed := int64(0); seed < 64; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		funcs := NewFuncs()
+		for round := 0; round < 8; round++ {
+			r := genMatchRule(rng)
+			sol := genMatchSolution(rng)
+			selfIdx := -1
+			if sol.Len() > 0 && rng.Intn(2) == 0 {
+				selfIdx = rng.Intn(sol.Len())
+			}
+			var order []int
+			if rng.Intn(2) == 0 {
+				order = rng.Perm(sol.Len())
+			}
+			got := MatchRule(r, sol, selfIdx, funcs, order)
+			want := referenceMatch(r, sol, selfIdx, funcs, order)
+			describe := func() string {
+				return fmt.Sprintf("rule %s on %v (self %d, order %v)", r, sol, selfIdx, order)
+			}
+			if (got == nil) != (want == nil) {
+				t.Fatalf("%s: machine match %v, reference match %v", describe(), got != nil, want != nil)
+			}
+			if got == nil {
+				continue
+			}
+			if fmt.Sprint(got.Consumed) != fmt.Sprint(want.Consumed) {
+				t.Fatalf("%s: consumed %v, reference %v", describe(), got.Consumed, want.Consumed)
+			}
+			for _, name := range patternVars(r.Pattern) {
+				ga, gok := got.Env.Atom(name)
+				wa, wok := want.Env.Atom(name)
+				if gok != wok || (gok && !ga.Equal(wa)) {
+					t.Fatalf("%s: binding %s = %v (bound %v), reference %v (bound %v)",
+						describe(), name, ga, gok, wa, wok)
+				}
+				gr, grok := got.Env.Rest(name)
+				wr, wrok := want.Env.Rest(name)
+				if grok != wrok || (grok && !refRestEqual(gr, wr)) {
+					t.Fatalf("%s: rest %s = %v (bound %v), reference %v (bound %v)",
+						describe(), name, gr, grok, wr, wrok)
+				}
+			}
+		}
+	})
+}
+
+// fuzzRefRule is a rule atom floating in generated solutions so PRuleRef
+// patterns have something to hit.
+var fuzzRefRule = MustParseRuleBody("other", "replace q by q if false", nil)
+
+// genMatchAtom draws a random atom over deliberately tiny domains: collisions
+// are what exercise non-linear bindings and backtracking.
+func genMatchAtom(rng *rand.Rand, depth int) Atom {
+	top := 10
+	if depth <= 0 {
+		top = 5 // scalars only
+	}
+	switch rng.Intn(top) {
+	case 0, 1:
+		return Int(rng.Intn(4))
+	case 2:
+		return Ident([]string{"A", "B", "C"}[rng.Intn(3)])
+	case 3:
+		return Str([]string{"s", "t"}[rng.Intn(2)])
+	case 4:
+		return Bool(rng.Intn(2) == 0)
+	case 5:
+		return fuzzRefRule
+	case 6:
+		n := 2 + rng.Intn(2)
+		t := make(Tuple, n)
+		for i := range t {
+			t[i] = genMatchAtom(rng, depth-1)
+		}
+		return t
+	case 7:
+		n := rng.Intn(3)
+		l := make(List, n)
+		for i := range l {
+			l[i] = genMatchAtom(rng, depth-1)
+		}
+		return l
+	default:
+		n := rng.Intn(4)
+		atoms := make([]Atom, n)
+		for i := range atoms {
+			atoms[i] = genMatchAtom(rng, depth-1)
+		}
+		sub := NewSolution(atoms...)
+		// Mostly inert (matchable); occasionally active, which every
+		// solution pattern must refuse.
+		sub.SetInert(rng.Intn(4) != 0)
+		return sub
+	}
+}
+
+func genMatchSolution(rng *rand.Rand) *Solution {
+	atoms := make([]Atom, rng.Intn(6))
+	for i := range atoms {
+		atoms[i] = genMatchAtom(rng, 2)
+	}
+	return NewSolution(atoms...)
+}
+
+// genMatchPattern draws a random pattern over the same tiny domains, with a
+// shared three-name variable pool so non-linear repeats are common.
+func genMatchPattern(rng *rand.Rand, depth int) Pattern {
+	vars := []string{"x", "y", "z"}
+	top := 8
+	if depth <= 0 {
+		top = 4
+	}
+	switch rng.Intn(top) {
+	case 0, 1:
+		return &PVar{Name: vars[rng.Intn(len(vars))]}
+	case 2:
+		return &PConst{Val: genMatchAtom(rng, 0)}
+	case 3:
+		if rng.Intn(3) == 0 {
+			return &PRuleRef{Name: "other"}
+		}
+		return &PConst{Val: Ident([]string{"A", "B"}[rng.Intn(2)])}
+	case 4:
+		n := 2 + rng.Intn(2)
+		elems := make([]Pattern, n)
+		for i := range elems {
+			elems[i] = genMatchPattern(rng, depth-1)
+		}
+		return &PTuple{Elems: elems}
+	case 5:
+		n := rng.Intn(3)
+		elems := make([]Pattern, n)
+		for i := range elems {
+			elems[i] = genMatchPattern(rng, depth-1)
+		}
+		return &PList{Elems: elems}
+	default:
+		n := rng.Intn(3)
+		elems := make([]Pattern, n)
+		for i := range elems {
+			elems[i] = genMatchPattern(rng, depth-1)
+		}
+		rest := ""
+		if rng.Intn(2) == 0 {
+			rest = []string{"w", "v"}[rng.Intn(2)]
+		}
+		return &PSolution{Elems: elems, Rest: rest}
+	}
+}
+
+func genMatchRule(rng *rand.Rand) *Rule {
+	n := 1 + rng.Intn(3)
+	pats := make([]Pattern, n)
+	for i := range pats {
+		pats[i] = genMatchPattern(rng, 2)
+	}
+	var guard Expr
+	switch rng.Intn(4) {
+	case 0:
+		guard = &EBinop{Op: "==", L: &EVar{Name: "x"}, R: &EVar{Name: "y"}}
+	case 1:
+		guard = &EUnop{Op: "!", X: &EBinop{Op: "==", L: &EVar{Name: "x"}, R: &ELit{Val: Int(0)}}}
+	}
+	return &Rule{Name: "fuzz", Pattern: pats, Guard: guard}
+}
+
+// patternVars collects every variable and rest name mentioned in a
+// pattern list (with duplicates; the comparison loop tolerates them).
+func patternVars(pats []Pattern) []string {
+	var names []string
+	var walk func(p Pattern)
+	walk = func(p Pattern) {
+		switch pt := p.(type) {
+		case *PVar:
+			names = append(names, pt.Name)
+		case *POmega:
+			names = append(names, pt.Name)
+		case *PTuple:
+			for _, e := range pt.Elems {
+				walk(e)
+			}
+		case *PList:
+			for _, e := range pt.Elems {
+				walk(e)
+			}
+		case *PSolution:
+			for _, e := range pt.Elems {
+				walk(e)
+			}
+			if pt.Rest != "" {
+				names = append(names, pt.Rest)
+			}
+		}
+	}
+	for _, p := range pats {
+		walk(p)
+	}
+	return names
 }
 
 // FuzzParseProgram hardens the full program parser the same way.

@@ -103,6 +103,32 @@ func TestInertSubSolutionIsNotReReduced(t *testing.T) {
 	}
 }
 
+// TestCompiledProgramSurvivesSolutionMutation checks the matcher-program
+// cache against the incremental engine's mutation model: the program is
+// compiled once per rule and never invalidated (patterns are immutable),
+// so matching the same rule object must stay correct as the solution it
+// runs against grows, shrinks and is reindexed underneath it.
+func TestCompiledProgramSurvivesSolutionMutation(t *testing.T) {
+	r := MustParseRuleBody("pair", "replace A:x, B:x by HIT", nil)
+	sol := NewSolution(Tuple{Ident("A"), Int(1)})
+	if m := MatchRule(r, sol, -1, NewFuncs(), nil); m != nil {
+		t.Fatal("matched with the partner tuple missing")
+	}
+	sol.Add(Tuple{Ident("B"), Int(1)})
+	m := MatchRule(r, sol, -1, NewFuncs(), nil)
+	if m == nil {
+		t.Fatal("no match after the partner tuple arrived")
+	}
+	sol.RemoveIndices(m.Consumed)
+	if m := MatchRule(r, sol, -1, NewFuncs(), nil); m != nil {
+		t.Fatalf("matched after consuming both tuples: %v", sol)
+	}
+	sol.Add(Tuple{Ident("B"), Int(2)}, Tuple{Ident("A"), Int(2)})
+	if m := MatchRule(r, sol, -1, NewFuncs(), nil); m == nil {
+		t.Fatal("no match after refill")
+	}
+}
+
 func TestEngineReuseAcrossSolutions(t *testing.T) {
 	// The engine's scratch state (matcher, permutation buffers) must not
 	// leak between reductions of different solutions.

@@ -1,6 +1,8 @@
 package hocl
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -159,6 +161,114 @@ func TestMatcherDeepNesting(t *testing.T) {
 	outer, _ := m.Env.Rest("outer")
 	if len(inner) != 2 || len(outer) != 1 {
 		t.Errorf("inner=%v outer=%v", inner, outer)
+	}
+}
+
+// TestNestedMatchOrderVariesAcrossSeeds pins the nested-ordering fix:
+// the engine's chemical non-determinism must reach sub-solution
+// candidate choice, not just the top level. The grab rule picks one
+// element out of a six-atom sub-solution; with natural nested order
+// every seed picked element 1.
+func TestNestedMatchOrderVariesAcrossSeeds(t *testing.T) {
+	run := func(seed int64) Atom {
+		t.Helper()
+		e := NewEngine()
+		e.Rand = rand.New(rand.NewSource(seed))
+		sol, err := e.Run(`let grab = replace-one <x, *w> by x in <<1, 2, 3, 4, 5, 6>, grab>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Len() != 1 {
+			t.Fatalf("seed %d: final solution %v, want one picked atom", seed, sol)
+		}
+		return sol.At(0)
+	}
+	picked := map[string]bool{}
+	for seed := int64(0); seed < 24; seed++ {
+		picked[run(seed).String()] = true
+	}
+	if len(picked) < 2 {
+		t.Fatalf("nested candidate choice never varied across 24 seeds: always %v", picked)
+	}
+	// Reproducibility: the same seed must pick the same atom.
+	for seed := int64(0); seed < 4; seed++ {
+		if a, b := run(seed), run(seed); !a.Equal(b) {
+			t.Fatalf("seed %d not reproducible: %v vs %v", seed, a, b)
+		}
+	}
+}
+
+// TestRuleProgramConcurrentCompile hits one rule from many engines at
+// once: the lazily compiled matcher program is cached on the shared
+// *Rule, so first use must be race-free (the -race CI job is the real
+// assertion here).
+func TestRuleProgramConcurrentCompile(t *testing.T) {
+	r := MustParseRuleBody("pair", "replace A:x, B:x by MATCHED if x == x", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sol := NewSolution(
+				Tuple{Ident("A"), Int(g)},
+				Tuple{Ident("B"), Int(g)},
+			)
+			if m := MatchRule(r, sol, -1, NewFuncs(), nil); m == nil {
+				t.Errorf("goroutine %d: no match", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMatcherBacktracksAcrossSubSolutionChoices forces backtracking to
+// revisit a *completed* sub-solution match after a later top-level
+// pattern fails: the machine must keep finished contexts revisitable.
+func TestMatcherBacktracksAcrossSubSolutionChoices(t *testing.T) {
+	// k must bind 2 (picked inside the first sub-solution) because only
+	// then does the second pattern find a partner.
+	sol := NewSolution(
+		NewSolution(Int(1), Int(2)),
+		Tuple{Ident("NEED"), Int(2)},
+	)
+	m := matchOnce(t, `replace <k, *w>, NEED:k by HIT`, sol)
+	if m == nil {
+		t.Fatal("no match despite valid nested assignment")
+	}
+	k, _ := m.Env.Atom("k")
+	if !k.Equal(Int(2)) {
+		t.Errorf("k = %v, want 2", k)
+	}
+	w, _ := m.Env.Rest("w")
+	if len(w) != 1 || !w[0].Equal(Int(1)) {
+		t.Errorf("rest w = %v, want [1]", w)
+	}
+}
+
+// TestMatcherReuseAcrossMatches drives one engine-owned matcher through
+// many differently-shaped matches in sequence, checking the pooled
+// machine state (frames, trail, contexts, used flags) never leaks
+// between matches.
+func TestMatcherReuseAcrossMatches(t *testing.T) {
+	e := NewEngine()
+	programs := []struct {
+		src  string
+		want Atom
+	}{
+		{`let p = replace <K, *w>, <K, *w> by SAME in <<K, 1, 2>, <K, 2, 1>, p>`, Ident("SAME")},
+		{`let q = replace a:<RES:<r, *res>> by r in <T1:<RES:<9>>, q>`, Int(9)},
+		{`let s = replace [a, b], a by b in <[1, 2], 1, s>`, Int(2)},
+	}
+	for round := 0; round < 3; round++ {
+		for _, p := range programs {
+			sol, err := e.Run(p.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Contains(p.want) {
+				t.Errorf("round %d: %s reduced to %v, want %v produced", round, p.src, sol, p.want)
+			}
+		}
 	}
 }
 

@@ -6,7 +6,9 @@ import (
 )
 
 // Pattern is the left-hand side of a rule. Patterns match atoms of a
-// solution and bind variables used by the guard and products.
+// solution and bind variables used by the guard and products. Pattern
+// trees are immutable once built; each rule compiles its pattern list
+// into the flat instruction sequence run by the matcher (matcher.go).
 type Pattern interface {
 	patNode()
 	String() string
@@ -87,319 +89,6 @@ func (p *PSolution) String() string {
 		parts = append(parts, "*"+p.Rest)
 	}
 	return "<" + strings.Join(parts, ", ") + ">"
-}
-
-// Match is the result of matching a rule against a solution: the variable
-// binding plus the indices of the consumed top-level atoms.
-type Match struct {
-	Env      *Binding
-	Consumed []int // indices into the solution, ascending
-}
-
-// MatchRule searches sol for atoms satisfying r's pattern and guard. The
-// rule's own atom (at index selfIdx, -1 if not applicable) is excluded
-// from candidates: a rule does not consume itself. Candidates are tried
-// in the order given by order (a permutation of sol indices; nil means
-// natural order), which is how the engine injects chemical
-// non-determinism. Returns nil when no match exists.
-func MatchRule(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *Match {
-	var m matcher
-	m.reset(sol, funcs, order)
-	return m.matchRule(r, selfIdx)
-}
-
-type matcher struct {
-	sol   *Solution
-	used  []bool
-	env   *Binding
-	funcs *Funcs
-	order []int
-
-	// solUsed pools the used-flags scratch of matchSolutionContents, one
-	// slice per nesting depth of solution patterns, so the engine's hot
-	// loop does not allocate per solution-pattern attempt. solDepth is
-	// the current nesting depth (siblings at the same depth reuse the
-	// same slice sequentially; a nested pattern pushes one level).
-	solUsed  [][]bool
-	solDepth int
-}
-
-// pushUsed returns a cleared n-element used-flags slice for the current
-// solution-pattern nesting level and enters the next level; popUsed
-// leaves it. The slice stays owned by the matcher across matches.
-func (m *matcher) pushUsed(n int) []bool {
-	if m.solDepth == len(m.solUsed) {
-		m.solUsed = append(m.solUsed, make([]bool, n))
-	}
-	buf := m.solUsed[m.solDepth]
-	if cap(buf) < n {
-		buf = make([]bool, n)
-	} else {
-		buf = buf[:n]
-		clear(buf)
-	}
-	m.solUsed[m.solDepth] = buf
-	m.solDepth++
-	return buf
-}
-
-func (m *matcher) popUsed() { m.solDepth-- }
-
-// reset prepares the matcher for a fresh match, reusing its used-flags
-// slice and binding so the engine's hot loop does not allocate per
-// candidate rule.
-func (m *matcher) reset(sol *Solution, funcs *Funcs, order []int) {
-	m.sol = sol
-	m.funcs = funcs
-	m.order = order
-	n := sol.Len()
-	if cap(m.used) < n {
-		m.used = make([]bool, n)
-	} else {
-		m.used = m.used[:n]
-		clear(m.used)
-	}
-	if m.env == nil {
-		m.env = NewBinding()
-	} else {
-		m.env.reset()
-	}
-	m.solDepth = 0
-}
-
-// matchRule runs the match for r against the prepared solution. The
-// returned Match shares the matcher's binding: it is valid until the next
-// reset.
-func (m *matcher) matchRule(r *Rule, selfIdx int) *Match {
-	if selfIdx >= 0 && selfIdx < m.sol.Len() {
-		m.used[selfIdx] = true
-	}
-	var consumed []int
-	ok := m.matchSeq(r.Pattern, 0, func() bool {
-		if !EvalGuard(r.Guard, m.env, m.funcs) {
-			return false
-		}
-		consumed = m.consumedIndices(selfIdx)
-		return true
-	})
-	if !ok {
-		return nil
-	}
-	return &Match{Env: m.env, Consumed: consumed}
-}
-
-func (m *matcher) consumedIndices(selfIdx int) []int {
-	var out []int
-	for i, u := range m.used {
-		if u && i != selfIdx {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// matchSeq matches patterns[k:] against unused atoms of m.sol, invoking
-// cont when every pattern is placed. It backtracks across candidate atoms
-// and across alternative bindings in nested structures. Omega patterns are
-// not allowed at rule top level (they belong to solution patterns); the
-// parser enforces this.
-func (m *matcher) matchSeq(patterns []Pattern, k int, cont func() bool) bool {
-	if k == len(patterns) {
-		return cont()
-	}
-	p := patterns[k]
-	n := m.sol.Len()
-	// The continuation is loop-invariant: allocate it once per pattern
-	// level, not once per candidate atom.
-	next := func() bool {
-		return m.matchSeq(patterns, k+1, cont)
-	}
-	for oi := 0; oi < n; oi++ {
-		i := oi
-		if m.order != nil {
-			i = m.order[oi]
-		}
-		if m.used[i] {
-			continue
-		}
-		m.used[i] = true
-		ok := m.matchAtom(p, m.sol.At(i), next)
-		if ok {
-			return true
-		}
-		m.used[i] = false
-	}
-	return false
-}
-
-// matchAtom matches a single pattern against a single atom, calling cont
-// on (tentative) success; bindings are rolled back when cont fails, so
-// the caller can try other candidates.
-func (m *matcher) matchAtom(p Pattern, a Atom, cont func() bool) bool {
-	switch pt := p.(type) {
-	case *PVar:
-		if prev, ok := m.env.Atom(pt.Name); ok {
-			if !prev.Equal(a) {
-				return false
-			}
-			return cont()
-		}
-		mark := m.env.mark()
-		m.env.bindAtom(pt.Name, a)
-		if cont() {
-			return true
-		}
-		m.env.undo(mark)
-		return false
-
-	case *PConst:
-		if !pt.Val.Equal(a) {
-			return false
-		}
-		return cont()
-
-	case *PRuleRef:
-		r, ok := a.(*Rule)
-		if !ok || r.Name != pt.Name {
-			return false
-		}
-		return cont()
-
-	case *PTuple:
-		t, ok := a.(Tuple)
-		if !ok || len(t) != len(pt.Elems) {
-			return false
-		}
-		return m.matchFixed(pt.Elems, []Atom(t), 0, cont)
-
-	case *PList:
-		l, ok := a.(List)
-		if !ok || len(l) != len(pt.Elems) {
-			return false
-		}
-		return m.matchFixed(pt.Elems, []Atom(l), 0, cont)
-
-	case *PSolution:
-		sub, ok := a.(*Solution)
-		if !ok {
-			return false
-		}
-		if !sub.Inert() {
-			// HOCL semantics: sub-solutions are matched only once inert.
-			return false
-		}
-		return m.matchSolutionContents(pt, sub, cont)
-
-	case *POmega:
-		// An omega outside a solution pattern would capture "the rest of
-		// the enclosing solution", which HOCL reserves for explicit
-		// sub-solution patterns; the parser rejects it earlier.
-		return false
-
-	default:
-		return false
-	}
-}
-
-// matchFixed matches patterns element-wise against a fixed sequence
-// (tuple or list contents).
-func (m *matcher) matchFixed(pats []Pattern, atoms []Atom, k int, cont func() bool) bool {
-	if k == len(pats) {
-		return cont()
-	}
-	return m.matchAtom(pats[k], atoms[k], func() bool {
-		return m.matchFixed(pats, atoms, k+1, cont)
-	})
-}
-
-// matchSolutionContents matches a solution pattern's element patterns
-// against distinct atoms of sub, binding the leftovers to the omega rest
-// variable (or requiring none when Rest is empty).
-func (m *matcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func() bool) bool {
-	if len(pt.Elems) == 0 {
-		// Fast path for the ubiquitous exact-empty (<>) and rest-only
-		// (<*w>) patterns: no element choice, so no backtracking state.
-		if pt.Rest == "" {
-			return sub.Len() == 0 && cont()
-		}
-		rest := sub.Atoms()
-		if prev, ok := m.env.Rest(pt.Rest); ok {
-			return restEqual(prev, rest) && cont()
-		}
-		mark := m.env.mark()
-		m.env.bindRest(pt.Rest, rest)
-		if cont() {
-			return true
-		}
-		m.env.undo(mark)
-		return false
-	}
-	used := m.pushUsed(sub.Len())
-	defer m.popUsed()
-	var rec func(k int) bool
-	rec = func(k int) bool {
-		if k == len(pt.Elems) {
-			var rest []Atom
-			for i := 0; i < sub.Len(); i++ {
-				if !used[i] {
-					rest = append(rest, sub.At(i))
-				}
-			}
-			if pt.Rest == "" {
-				if len(rest) != 0 {
-					return false
-				}
-				return cont()
-			}
-			if prev, ok := m.env.Rest(pt.Rest); ok {
-				if !restEqual(prev, rest) {
-					return false
-				}
-				return cont()
-			}
-			mark := m.env.mark()
-			m.env.bindRest(pt.Rest, rest)
-			if cont() {
-				return true
-			}
-			m.env.undo(mark)
-			return false
-		}
-		next := func() bool {
-			return rec(k + 1)
-		}
-		for i := 0; i < sub.Len(); i++ {
-			if used[i] {
-				continue
-			}
-			used[i] = true
-			ok := m.matchAtom(pt.Elems[k], sub.At(i), next)
-			if ok {
-				return true
-			}
-			used[i] = false
-		}
-		return false
-	}
-	return rec(0)
-}
-
-func restEqual(a, b []Atom) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	used := make([]bool, len(b))
-outer:
-	for _, x := range a {
-		for j, y := range b {
-			if !used[j] && x.Equal(y) {
-				used[j] = true
-				continue outer
-			}
-		}
-		return false
-	}
-	return true
 }
 
 // PatternToExpr converts a pattern to the expression that rebuilds the

@@ -133,7 +133,10 @@ func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
 		}
 		idx := rules[ri]
 		r := sol.At(idx).(*Rule)
-		e.scratch.reset(sol, e.funcs(), e.permInto(&e.candOrd, sol.Len()))
+		// The candidate permutation covers the top level; the matcher
+		// draws per-context permutations from Rand itself, so nested
+		// solution patterns see the same chemical non-determinism.
+		e.scratch.reset(sol, e.funcs(), e.permInto(&e.candOrd, sol.Len()), e.Rand)
 		m := e.scratch.matchRule(r, idx)
 		if m == nil {
 			continue

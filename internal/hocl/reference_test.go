@@ -1,0 +1,209 @@
+package hocl
+
+// The naive reference matcher: a direct recursive continuation-passing
+// implementation of rule matching, kept as the oracle for the
+// differential fuzz test (FuzzMatcherDifferential in fuzz_test.go).
+//
+// This is, essentially, the pre-machine CPS matcher with its pooling
+// stripped: it allocates freely and optimises nothing, which is exactly
+// what makes it a trustworthy reference. It must track the production
+// matcher's *semantics* — same match/no-match, same consumed indices,
+// same bindings under natural nested order — but never its
+// implementation. The machine replaced this code after the differential
+// test proved them equivalent over randomized rule/solution pairs; the
+// same test now guards the machine against regressions.
+
+// referenceMatch is MatchRule's oracle twin.
+func referenceMatch(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *Match {
+	m := &refMatcher{
+		sol:   sol,
+		used:  make([]bool, sol.Len()),
+		env:   NewBinding(),
+		funcs: funcs,
+		order: order,
+	}
+	if selfIdx >= 0 && selfIdx < sol.Len() {
+		m.used[selfIdx] = true
+	}
+	var consumed []int
+	ok := m.matchSeq(r.Pattern, 0, func() bool {
+		if !EvalGuard(r.Guard, m.env, m.funcs) {
+			return false
+		}
+		for i, u := range m.used {
+			if u && i != selfIdx {
+				consumed = append(consumed, i)
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return &Match{Env: m.env, Consumed: consumed}
+}
+
+type refMatcher struct {
+	sol   *Solution
+	used  []bool
+	env   *Binding
+	funcs *Funcs
+	order []int
+}
+
+// matchSeq matches patterns[k:] against unused atoms of m.sol, invoking
+// cont when every pattern is placed.
+func (m *refMatcher) matchSeq(patterns []Pattern, k int, cont func() bool) bool {
+	if k == len(patterns) {
+		return cont()
+	}
+	p := patterns[k]
+	n := m.sol.Len()
+	for oi := 0; oi < n; oi++ {
+		i := oi
+		if m.order != nil {
+			i = m.order[oi]
+		}
+		if m.used[i] {
+			continue
+		}
+		m.used[i] = true
+		ok := m.matchAtom(p, m.sol.At(i), func() bool {
+			return m.matchSeq(patterns, k+1, cont)
+		})
+		if ok {
+			return true
+		}
+		m.used[i] = false
+	}
+	return false
+}
+
+// matchAtom matches a single pattern against a single atom, calling cont
+// on (tentative) success; bindings are rolled back when cont fails.
+func (m *refMatcher) matchAtom(p Pattern, a Atom, cont func() bool) bool {
+	switch pt := p.(type) {
+	case *PVar:
+		if prev, ok := m.env.Atom(pt.Name); ok {
+			if !prev.Equal(a) {
+				return false
+			}
+			return cont()
+		}
+		mark := m.env.mark()
+		m.env.bindAtom(pt.Name, a)
+		if cont() {
+			return true
+		}
+		m.env.undo(mark)
+		return false
+
+	case *PConst:
+		return pt.Val.Equal(a) && cont()
+
+	case *PRuleRef:
+		r, ok := a.(*Rule)
+		return ok && r.Name == pt.Name && cont()
+
+	case *PTuple:
+		t, ok := a.(Tuple)
+		if !ok || len(t) != len(pt.Elems) {
+			return false
+		}
+		return m.matchFixed(pt.Elems, []Atom(t), 0, cont)
+
+	case *PList:
+		l, ok := a.(List)
+		if !ok || len(l) != len(pt.Elems) {
+			return false
+		}
+		return m.matchFixed(pt.Elems, []Atom(l), 0, cont)
+
+	case *PSolution:
+		sub, ok := a.(*Solution)
+		if !ok || !sub.Inert() {
+			return false
+		}
+		return m.matchSolutionContents(pt, sub, cont)
+
+	case *POmega:
+		return false
+
+	default:
+		return false
+	}
+}
+
+func (m *refMatcher) matchFixed(pats []Pattern, atoms []Atom, k int, cont func() bool) bool {
+	if k == len(pats) {
+		return cont()
+	}
+	return m.matchAtom(pats[k], atoms[k], func() bool {
+		return m.matchFixed(pats, atoms, k+1, cont)
+	})
+}
+
+// matchSolutionContents matches a solution pattern's element patterns
+// against distinct atoms of sub, binding the leftovers to the omega rest
+// variable (or requiring none when Rest is empty).
+func (m *refMatcher) matchSolutionContents(pt *PSolution, sub *Solution, cont func() bool) bool {
+	used := make([]bool, sub.Len())
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(pt.Elems) {
+			var rest []Atom
+			for i := 0; i < sub.Len(); i++ {
+				if !used[i] {
+					rest = append(rest, sub.At(i))
+				}
+			}
+			if pt.Rest == "" {
+				return len(rest) == 0 && cont()
+			}
+			if prev, ok := m.env.Rest(pt.Rest); ok {
+				return refRestEqual(prev, rest) && cont()
+			}
+			mark := m.env.mark()
+			m.env.bindRest(pt.Rest, rest)
+			if cont() {
+				return true
+			}
+			m.env.undo(mark)
+			return false
+		}
+		for i := 0; i < sub.Len(); i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			ok := m.matchAtom(pt.Elems[k], sub.At(i), func() bool {
+				return rec(k + 1)
+			})
+			if ok {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// refRestEqual is multiset equality over rest captures.
+func refRestEqual(a, b []Atom) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && x.Equal(y) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package hocl
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Rule is a reaction rule and, per HOCL's higher order, also an atom that
@@ -19,6 +20,20 @@ type Rule struct {
 	Guard   Expr // nil means always true
 	Product []Expr
 	OneShot bool
+
+	// compiled caches the matcher program for Pattern. Patterns are
+	// immutable, so the cache is never invalidated; rules are shared by
+	// reference across engines (Clone returns the rule itself), so
+	// compilation must be once-only under concurrency.
+	compileOnce sync.Once
+	compiled    []minstr
+}
+
+// program returns the rule's compiled matcher program, compiling the
+// pattern list on first use.
+func (r *Rule) program() []minstr {
+	r.compileOnce.Do(func() { r.compiled = compilePatterns(r.Pattern) })
+	return r.compiled
 }
 
 // NewRule builds a named catalyst rule.
