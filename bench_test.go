@@ -20,6 +20,7 @@ import (
 	"ginflow/internal/executor"
 	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
+	"ginflow/internal/journal"
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
 	"ginflow/internal/space"
@@ -345,6 +346,64 @@ func BenchmarkReduceDiamondRules(b *testing.B) {
 		sol := tmpl.SnapshotSolution()
 		sol.Add(passes...)
 		if err := engine.Reduce(sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeAtoms measures the binary atom codec on a
+// representative journal record: one task status tuple (the full-
+// snapshot push of a mid-workflow task) plus a STATDELTA tuple — the
+// two payload shapes the durable session journal appends on its hot
+// path. Guarded by cmd/benchguard (internal/bench/baseline.json):
+// journaling cost per status record must stay flat.
+func BenchmarkEncodeAtoms(b *testing.B) {
+	status := hoclflow.TaskAttrs{
+		Name: "N3_4", Src: []string{"N1_3", "N2_3", "N3_3"},
+		Dst: []string{"N3_5", "N4_5"}, Service: "work",
+		In: []hocl.Atom{hocl.Str("plate-003")},
+	}.SubSolution()
+	delta := hoclflow.StatusDelta{
+		Task: "N3_4", Base: 0x1234, Next: 0x5678,
+		RemovedHashes: []uint64{1, 2, 3},
+		Added:         []hocl.Atom{hocl.Tuple{hocl.Ident("RES"), hocl.NewSolution(hocl.Str("out-work"))}},
+		Inert:         true,
+	}
+	payload := []hocl.Atom{hocl.Tuple{hocl.Ident("N3_4"), status}, delta.Atom()}
+	var sink []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = hocl.AppendAtoms(sink[:0], payload)
+	}
+	if _, err := hocl.DecodeAtoms(sink); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJournalAppendStatus measures the full journaling hot path —
+// binary encode + frame + fingerprint + file write — for one status
+// record, end to end against a real file. Allocations must stay at
+// zero: the writer reuses its encoding and framing buffers.
+func BenchmarkJournalAppendStatus(b *testing.B) {
+	j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := j.CreateSession(journal.SessionMeta{ID: 1, Workflow: []byte(`{"tasks":[]}`)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	status := hoclflow.TaskAttrs{
+		Name: "N3_4", Src: []string{"N1_3", "N2_3"}, Dst: []string{"N3_5"},
+		Service: "work",
+	}.SubSolution()
+	payload := []hocl.Atom{hocl.Tuple{hocl.Ident("N3_4"), status}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.AppendStatus(payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,12 +14,20 @@
 // one cluster, one broker, N topic-namespaced sessions — and each
 // session's report is printed as it completes.
 //
+// With -journal DIR sessions are durable: the engine write-ahead-logs
+// each session under DIR, and a killed process leaves them resumable.
+// -resume recovers and finishes whatever unfinished sessions DIR holds
+// (the workload flags still select the simulated services; the
+// workflows themselves are read back from the journal).
+//
 // Examples:
 //
 //	ginflow -diamond 10x10 -executor mesos -broker kafka -nodes 15
 //	ginflow -file workflow.json -fail s2
 //	ginflow -montage -p 0.5 -T 15
 //	ginflow -diamond 6x6 -n 8
+//	ginflow -diamond 8x8 -journal /var/lib/ginflow   # durable run
+//	ginflow -diamond 8x8 -journal /var/lib/ginflow -resume
 package main
 
 import (
@@ -63,6 +71,9 @@ func run() error {
 		failureT = flag.Float64("T", 0, "agent crash delay, model seconds after service start")
 
 		parallel = flag.Int("n", 1, "concurrent submissions of the workload through one shared Manager")
+
+		journalDir = flag.String("journal", "", "journal directory: sessions become durable and crash-resumable")
+		resume     = flag.Bool("resume", false, "recover and finish the unfinished sessions in -journal instead of submitting")
 
 		verbose   = flag.Bool("v", false, "print per-task statuses")
 		showTrace = flag.Bool("trace", false, "print the enactment timeline")
@@ -112,6 +123,14 @@ func run() error {
 		Timeout:      *timeout,
 		CollectTrace: *showTrace,
 	}
+	cfg.Journal.Dir = *journalDir
+
+	if *resume {
+		if *journalDir == "" {
+			return fmt.Errorf("-resume requires -journal (the directory holding the unfinished sessions)")
+		}
+		return runResume(os.Stdout, services, cfg, *verbose)
+	}
 
 	if *parallel > 1 {
 		return runParallel(os.Stdout, def, services, cfg, *parallel, *verbose)
@@ -130,10 +149,47 @@ func run() error {
 	return err
 }
 
-// runParallel drives n concurrent submissions of the same workload
-// through one long-lived Manager, printing each session's report as it
-// completes plus an aggregate line.
-func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, n int, verbose bool) error {
+// runResume recovers every unfinished session the journal directory
+// holds and drives it to completion, printing each report. The workload
+// flags still select the service registry — service implementations are
+// Go functions and cannot be journaled; the workflows themselves come
+// from the journal.
+func runResume(w io.Writer, services *ginflow.ServiceRegistry, cfg ginflow.Config, verbose bool) error {
+	mgr, err := ginflow.New(managerOptions(cfg)...)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	handles, err := mgr.Recover(context.Background(), services)
+	if err != nil {
+		fmt.Fprintf(w, "recover: %v\n", err)
+	}
+	if len(handles) == 0 {
+		fmt.Fprintln(w, "no unfinished sessions in the journal")
+		return err
+	}
+	fmt.Fprintf(w, "resuming %d session(s) from %s\n", len(handles), cfg.Journal.Dir)
+	var firstErr error = err
+	for _, h := range handles {
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			fmt.Fprintf(w, "session %d: FAILED: %v\n", h.ID(), err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "session %d: %s\n", h.ID(), rep)
+		if verbose {
+			printReport(w, rep, true)
+		}
+	}
+	return firstErr
+}
+
+// managerOptions translates a flag-built Config into Manager options.
+func managerOptions(cfg ginflow.Config) []ginflow.Option {
 	opts := []ginflow.Option{
 		ginflow.WithExecutor(cfg.Executor),
 		ginflow.WithBroker(cfg.Broker),
@@ -144,6 +200,17 @@ func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRe
 	if cfg.CollectTrace {
 		opts = append(opts, ginflow.WithTrace())
 	}
+	if cfg.Journal.Dir != "" {
+		opts = append(opts, ginflow.WithJournal(cfg.Journal.Dir))
+	}
+	return opts
+}
+
+// runParallel drives n concurrent submissions of the same workload
+// through one long-lived Manager, printing each session's report as it
+// completes plus an aggregate line.
+func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, n int, verbose bool) error {
+	opts := managerOptions(cfg)
 	mgr, err := ginflow.New(opts...)
 	if err != nil {
 		return err

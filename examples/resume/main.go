@@ -1,0 +1,154 @@
+// Resume: durable sessions surviving a real process kill. The example
+// runs twice in the same binary:
+//
+//  1. The parent re-executes itself as a child process. The child
+//     builds a journal-backed Manager (ginflow.WithJournal), submits a
+//     diamond workflow and, once a handful of tasks have completed,
+//     dies with os.Exit — no Close, no cleanup, exactly a crash.
+//  2. The parent then opens a fresh Manager over the same journal
+//     directory, calls Manager.Recover and finishes the session. Tasks
+//     whose results were journaled before the kill are not re-invoked:
+//     the recovered run executes only the remainder.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"ginflow"
+)
+
+const (
+	phaseEnv = "GINFLOW_RESUME_PHASE"
+	dirEnv   = "GINFLOW_RESUME_DIR"
+	// killAfter is the number of task completions the child survives.
+	killAfter = 6
+)
+
+func services() *ginflow.ServiceRegistry {
+	reg := ginflow.NewServiceRegistry()
+	reg.RegisterNoop(1.0, "split", "work", "merge")
+	return reg
+}
+
+func newManager(dir string) (*ginflow.Manager, error) {
+	// 10 ms of real time per model second: slow enough that the kill
+	// lands mid-run with plenty of workflow left, fast enough that the
+	// whole demo takes a few seconds.
+	return ginflow.New(
+		ginflow.WithJournal(dir),
+		ginflow.WithCluster(ginflow.ClusterConfig{Nodes: 8, Scale: 10 * time.Millisecond}),
+		ginflow.WithTimeout(60*time.Second),
+	)
+}
+
+// child runs the workload and crashes mid-flight.
+func child(dir string) {
+	mgr, err := newManager(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def := ginflow.Diamond(ginflow.DefaultDiamondSpec(5, 5, false))
+	h, err := mgr.Submit(context.Background(), def, services())
+	if err != nil {
+		log.Fatal(err)
+	}
+	completed := 0
+	for e := range h.Events() {
+		if e.Kind == ginflow.EventTaskCompleted {
+			completed++
+			fmt.Printf("  [child] %s completed (%d/%d before the crash)\n", e.Task, completed, killAfter)
+			if completed >= killAfter {
+				// Give the in-flight status pushes a moment to reach the
+				// journal, then die hard. (A kill can of course also land
+				// before a push is durable — recovery then simply re-runs
+				// that task; the demo is cleaner with the races drained.)
+				time.Sleep(25 * time.Millisecond)
+				fmt.Println("  [child] dying mid-run (os.Exit, no cleanup)")
+				os.Exit(3) // the crash: journal left as-is on disk
+			}
+		}
+	}
+	log.Fatal("child finished before the planned crash; nothing to demo")
+}
+
+func main() {
+	if dir := os.Getenv(dirEnv); os.Getenv(phaseEnv) == "child" {
+		child(dir)
+		return
+	}
+
+	dir, err := os.MkdirTemp("", "ginflow-resume-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("journal directory: %s\n", dir)
+
+	// Phase 1: run the workload in a child process and let it die.
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), phaseEnv+"=child", dirEnv+"="+dir)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	fmt.Println("phase 1: child process runs the workflow and is killed mid-run")
+	if err := cmd.Run(); err == nil {
+		log.Fatal("child exited cleanly; expected a crash")
+	}
+
+	// Phase 2: a fresh Manager over the same directory resumes the
+	// session. The service registry is supplied again — implementations
+	// are code, only workflow state is journaled.
+	fmt.Println("phase 2: fresh manager recovers the journaled session")
+	mgr, err := newManager(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	events := mgr.Events()
+	invoked := make(chan string, 1024)
+	go func() {
+		defer close(invoked)
+		for e := range events {
+			switch e.Kind {
+			case ginflow.EventSessionRecovered:
+				fmt.Printf("  [parent] session %d recovered (%s)\n", e.SessionID, e.Info)
+			case ginflow.EventServiceInvoked:
+				select {
+				case invoked <- e.Task:
+				default:
+				}
+			}
+		}
+	}()
+
+	handles, err := mgr.Recover(context.Background(), services())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(handles) == 0 {
+		log.Fatal("no unfinished sessions found")
+	}
+	rep, err := handles[0].Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.Close() // closes the event stream so the drain below terminates
+
+	reran := map[string]bool{}
+	for task := range invoked {
+		reran[task] = true
+	}
+	total := rep.Tasks
+	fmt.Printf("recovered run: %s\n", rep)
+	fmt.Printf("MERGE: %v, results %v\n", rep.Statuses["MERGE"], rep.Results["MERGE"])
+	fmt.Printf("%d of %d tasks ran after recovery; the other %d were restored from the journal, not re-invoked.\n",
+		len(reran), total, total-len(reran))
+}

@@ -132,6 +132,10 @@ type (
 	Event = trace.Event
 	// EventKind classifies an event.
 	EventKind = trace.Kind
+	// SessionEvent is an enactment event stamped with the session that
+	// emitted it — the element of the Manager-level merged bus
+	// (Manager.Events).
+	SessionEvent = core.SessionEvent
 )
 
 // Event kinds, in rough lifecycle order.
@@ -145,6 +149,7 @@ const (
 	EventAgentCrashed     = trace.AgentCrashed
 	EventAgentRecovered   = trace.AgentRecovered
 	EventTaskCompleted    = trace.TaskCompleted
+	EventSessionRecovered = trace.SessionRecovered
 )
 
 // Sentinel errors of the Manager API, matchable with errors.Is.
@@ -160,6 +165,12 @@ var (
 	ErrUnknownService = core.ErrUnknownService
 	// ErrManagerClosed reports a submission to a closed Manager.
 	ErrManagerClosed = core.ErrManagerClosed
+	// ErrNoBroker reports a distributed per-session executor override on
+	// a Manager built without a broker (a centralized Manager).
+	ErrNoBroker = core.ErrNoBroker
+	// ErrNoJournal reports a Recover call on a Manager built without
+	// WithJournal.
+	ErrNoJournal = core.ErrNoJournal
 )
 
 // Option configures a Manager. Options cover the same ground as the
@@ -207,6 +218,15 @@ func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = 
 // by default (live streaming via Handle.Events needs no option).
 func WithTrace() Option { return func(c *Config) { c.CollectTrace = true } }
 
+// WithJournal makes every distributed session durable: the submitted
+// workflow, periodic space snapshots and the status-push stream are
+// journaled under dir (one write-ahead segment log per session), and a
+// Manager process crash no longer loses in-flight sessions — a fresh
+// Manager over the same directory resumes them with Recover. Completed
+// work is never re-executed on resume: tasks whose results were
+// journaled restart as already-done.
+func WithJournal(dir string) Option { return func(c *Config) { c.Journal.Dir = dir } }
+
 // SubmitOption tunes one submission.
 type SubmitOption = core.SubmitOption
 
@@ -222,6 +242,13 @@ func SubmitTrace() SubmitOption { return core.SubmitTrace() }
 func SubmitFailureInjection(p, t float64) SubmitOption {
 	return core.SubmitFailureInjection(p, t)
 }
+
+// WithSessionExecutor overrides the Manager's executor for one session:
+// a centralized single-interpreter debug run inside a distributed
+// Manager, or a different distributed backend (e.g. one Mesos session
+// on an SSH manager). A distributed kind requires the Manager to have a
+// broker (ErrNoBroker otherwise).
+func WithSessionExecutor(k ExecutorKind) SubmitOption { return core.SubmitExecutor(k) }
 
 // Manager is the long-lived workflow engine: one shared simulated
 // cluster, broker and executor serving any number of concurrent workflow
@@ -261,8 +288,37 @@ func (m *Manager) Submit(ctx context.Context, def *Workflow, services *ServiceRe
 // Active returns the number of sessions currently running.
 func (m *Manager) Active() int { return m.inner.Active() }
 
+// Events returns a live merged stream of every session's enactment
+// events, each stamped with its session ID — the observation point for
+// dashboard-style consumers watching the whole Manager rather than one
+// Handle. Recovery announces each resumed session here with an
+// EventSessionRecovered. Delivery is lossy under backpressure and the
+// channel closes when the Manager closes.
+func (m *Manager) Events() <-chan SessionEvent { return m.inner.Events() }
+
+// Recover scans the journal directory (WithJournal) for sessions a
+// previous Manager process left unfinished — a crash, or a graceful
+// Close mid-run — rebuilds each one from its snapshot + delta log and
+// resumes it, returning the live handles. Tasks whose results were
+// journaled are not re-executed. Service implementations cannot be
+// persisted, so the registry is supplied again; opts apply on top of
+// each session's journaled submission config. Sessions whose journal
+// cannot be rebuilt are skipped and reported in the returned error
+// alongside the successfully recovered handles.
+func (m *Manager) Recover(ctx context.Context, services *ServiceRegistry, opts ...SubmitOption) ([]*Handle, error) {
+	sessions, err := m.inner.Recover(ctx, services, opts...)
+	handles := make([]*Handle, len(sessions))
+	for i, s := range sessions {
+		handles[i] = &Handle{s: s}
+	}
+	return handles, err
+}
+
 // Close cancels every active session, waits for them to release their
-// resources and shuts the shared broker down.
+// resources and shuts the shared broker down. With WithJournal, the
+// journals of in-flight sessions are left on disk resumable — Close is
+// the process stopping, not the workflows being cancelled; an explicit
+// Handle.Cancel is terminal and reclaims the session's journal.
 func (m *Manager) Close() error { return m.inner.Close() }
 
 // Handle observes and controls one submitted workflow session.

@@ -332,9 +332,17 @@ func (a *Agent) reduce() error {
 // other owners (peers, the replay log) still share them; those are
 // cloned. Textual payloads take the parse path; undecodable ones are
 // dropped — a poisoned message must not kill the agent.
+//
+// RESYNC markers are control messages, not molecules: they reset the
+// status encoder so the next push is a full snapshot (the space asked
+// for one after refusing a delta) and never enter the local solution.
 func (a *Agent) ingest(msg mq.Message) {
 	if msg.Structural() {
 		for _, atom := range msg.Atoms {
+			if _, ok := hoclflow.DecodeResync(atom); ok {
+				a.statusEnc.Reset()
+				continue
+			}
 			if hocl.Shareable(atom) {
 				a.local.Add(atom)
 			} else {
@@ -347,7 +355,13 @@ func (a *Agent) ingest(msg mq.Message) {
 	if err != nil {
 		return
 	}
-	a.local.Add(atoms...)
+	for _, atom := range atoms {
+		if _, ok := hoclflow.DecodeResync(atom); ok {
+			a.statusEnc.Reset()
+			continue
+		}
+		a.local.Add(atom)
+	}
 }
 
 // Subscribe attaches the agent to its inbox topic. The engine subscribes

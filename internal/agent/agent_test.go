@@ -405,3 +405,31 @@ func TestIngestSharesFrozenAtoms(t *testing.T) {
 		t.Errorf("clone diverged: %v", got)
 	}
 }
+
+// TestResyncMarkerForcesFullPush: a RESYNC control message resets the
+// status encoder — the next push is a full snapshot even though the
+// local state is unchanged — and never enters the local solution.
+func TestResyncMarkerForcesFullPush(t *testing.T) {
+	clus := testCluster()
+	broker := mq.NewQueueBroker(clus.Clock(), 0.0001)
+	p, _ := twoAgentSpecs(t)
+	a := New(Config{
+		Spec: p, Broker: broker, Cluster: clus, Node: clus.Node(0),
+		Services: noopRegistry(0, "s1"),
+	})
+	a.pushStatus()
+	a.pushStatus() // unchanged: deduplicated
+	if got := broker.Published(); got != 1 {
+		t.Fatalf("setup: published %d, want 1", got)
+	}
+
+	before := a.local.Len()
+	a.ingest(mq.Message{Atoms: []hocl.Atom{hoclflow.ResyncMarker("T1")}})
+	if a.local.Len() != before {
+		t.Fatal("RESYNC marker leaked into the local solution")
+	}
+	a.pushStatus() // same state, but the encoder was reset: full push
+	if got := broker.Published(); got != 2 {
+		t.Fatalf("post-resync push published %d total, want 2", got)
+	}
+}

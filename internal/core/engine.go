@@ -25,6 +25,7 @@ import (
 	"ginflow/internal/cluster"
 	"ginflow/internal/executor"
 	"ginflow/internal/hoclflow"
+	"ginflow/internal/journal"
 	"ginflow/internal/mq"
 	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
@@ -72,6 +73,13 @@ type Config struct {
 	// invocations, transfers, adaptations, crashes) into Report.Events.
 	// Live event streaming (Session.Events) works regardless.
 	CollectTrace bool
+
+	// Journal configures the durable session journal (DESIGN.md
+	// "Durability & recovery"): when Journal.Dir is set, every
+	// distributed session writes through to an on-disk snapshot + delta
+	// log and an unfinished session survives a Manager process crash —
+	// a fresh Manager over the same directory resumes it with Recover.
+	Journal journal.Config
 }
 
 func (c Config) withDefaults() Config {

@@ -10,7 +10,9 @@ import (
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
 	"ginflow/internal/executor"
+	"ginflow/internal/journal"
 	"ginflow/internal/mq"
+	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
 )
 
@@ -28,6 +30,14 @@ var (
 	ErrUnknownService = errors.New("unknown service")
 	// ErrManagerClosed reports a submission to a closed manager.
 	ErrManagerClosed = errors.New("manager closed")
+	// ErrNoBroker reports a distributed session submitted to a manager
+	// built without a broker (a centralized-executor manager): the
+	// per-session executor override can only narrow to centralized, not
+	// widen to distributed.
+	ErrNoBroker = errors.New("manager has no broker")
+	// ErrNoJournal reports a Recover call on a manager built without a
+	// journal directory.
+	ErrNoJournal = errors.New("manager has no journal")
 )
 
 // Manager is the long-lived engine: it owns one simulated platform, one
@@ -42,6 +52,8 @@ type Manager struct {
 	cluster *cluster.Cluster
 	broker  mq.Broker
 	exec    executor.Executor // nil for the centralized executor
+	journal *journal.Journal  // nil without Config.Journal.Dir
+	events  *hub[SessionEvent]
 
 	mu     sync.Mutex
 	closed bool
@@ -51,16 +63,21 @@ type Manager struct {
 }
 
 // NewManager builds a manager from the config (zero values take
-// defaults). The cluster, broker and executor live until Close.
+// defaults). The cluster, broker and executor live until Close. With
+// Config.Journal.Dir set the journal directory is opened (created if
+// absent) and new session IDs are allocated past any journaled ones, so
+// a restarted manager never collides with the sessions it may later
+// Recover.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:     cfg,
 		cluster: cluster.New(cfg.Cluster),
 		active:  map[int64]*Session{},
+		events:  newHub[SessionEvent](managerEventBuffer),
 	}
 	if cfg.Executor != executor.KindCentralized {
-		exec, err := executorFor(cfg)
+		exec, err := executorFor(cfg, cfg.Executor)
 		if err != nil {
 			return nil, err
 		}
@@ -71,8 +88,51 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.exec = exec
 		m.broker = broker
 	}
+	if cfg.Journal.Enabled() {
+		j, err := journal.Open(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := j.SessionIDs()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if id > m.nextID {
+				m.nextID = id
+			}
+		}
+		m.journal = j
+	}
 	return m, nil
 }
+
+// managerEventBuffer sizes the merged event bus's per-subscriber
+// buffer: it must absorb bursts from many concurrent sessions, and like
+// the per-session hubs it is lossy under backpressure.
+const managerEventBuffer = 4096
+
+// SessionEvent is one enactment event stamped with the session that
+// emitted it — the element type of the manager-level merged event bus.
+type SessionEvent struct {
+	// SessionID identifies the emitting session.
+	SessionID int64
+	trace.Event
+}
+
+// Events returns a live merged stream of every session's enactment
+// events, each stamped with its session ID — the observation point for
+// dashboard-style consumers that watch the whole manager rather than
+// one handle. Recovery announces each resumed session here with a
+// SessionRecovered event. Delivery is lossy under backpressure, like
+// Session.Events; the channel closes when the manager closes.
+func (m *Manager) Events() <-chan SessionEvent {
+	return m.events.subscribe()
+}
+
+// Journal exposes the manager's journal (nil when journaling is
+// disabled); tests and tooling inspect it.
+func (m *Manager) Journal() *journal.Journal { return m.journal }
 
 // Cluster exposes the shared platform (tests and benchmarks assert on
 // slot accounting).
@@ -99,6 +159,12 @@ type SubmitConfig struct {
 	// FailureP / FailureT override the manager's fault injection for
 	// this session.
 	FailureP, FailureT float64
+	// Executor overrides the manager's executor for this session ("" =
+	// manager default). Centralized narrows a distributed manager to a
+	// single-interpreter debug run; a distributed kind on a distributed
+	// manager swaps the deployment backend; a distributed kind on a
+	// centralized manager fails with ErrNoBroker.
+	Executor executor.Kind
 }
 
 // SubmitOption tunes one submission.
@@ -119,6 +185,14 @@ func SubmitTrace() SubmitOption {
 // parameters (§V-D) for this session.
 func SubmitFailureInjection(p, t float64) SubmitOption {
 	return func(c *SubmitConfig) { c.FailureP = p; c.FailureT = t }
+}
+
+// SubmitExecutor overrides the manager's executor for this session —
+// e.g. a centralized debug run inside a distributed manager, or an SSH
+// session on a Mesos manager. A distributed kind requires the manager
+// to have a broker (ErrNoBroker otherwise).
+func SubmitExecutor(k executor.Kind) SubmitOption {
+	return func(c *SubmitConfig) { c.Executor = k }
 }
 
 // Submit starts a workflow session and returns its handle immediately;
@@ -154,6 +228,11 @@ func (m *Manager) Submit(ctx context.Context, def *workflow.Definition, services
 		sub.Timeout = m.cfg.Timeout
 	}
 
+	exec, err := m.sessionExecutor(sub.Executor)
+	if err != nil {
+		return nil, err
+	}
+
 	// The session's cancel func must be in place before the session is
 	// visible in m.active: a concurrent Close cancels whatever it finds
 	// there.
@@ -167,15 +246,71 @@ func (m *Manager) Submit(ctx context.Context, def *workflow.Definition, services
 	m.nextID++
 	s := newSession(m, m.nextID, def, services, sub)
 	s.cancel = cancel
+	s.exec = exec
 	m.active[s.id] = s
 	m.wg.Add(1)
 	m.mu.Unlock()
+
+	// Journaling applies to distributed sessions (a centralized run has
+	// no status stream to journal). The workflow record is durable
+	// before any agent deploys — the write-ahead contract.
+	if m.journal != nil && exec != nil {
+		meta, err := sessionMeta(s)
+		if err == nil {
+			s.jw, err = m.journal.CreateSession(meta)
+		}
+		if err != nil {
+			m.mu.Lock()
+			delete(m.active, s.id)
+			m.mu.Unlock()
+			m.wg.Done()
+			cancel(ErrCancelled)
+			return nil, err
+		}
+	}
 
 	go func() {
 		defer m.wg.Done()
 		s.run(runCtx)
 	}()
 	return s, nil
+}
+
+// sessionExecutor resolves a session's executor kind against the
+// manager's shared backends: "" inherits the manager executor,
+// centralized selects the single-interpreter path (nil executor), any
+// other kind requires the shared broker.
+func (m *Manager) sessionExecutor(kind executor.Kind) (executor.Executor, error) {
+	switch kind {
+	case "":
+		return m.exec, nil
+	case executor.KindCentralized:
+		return nil, nil
+	}
+	if m.broker == nil {
+		return nil, fmt.Errorf("core: session executor %q: %w", kind, ErrNoBroker)
+	}
+	if kind == m.cfg.Executor && m.exec != nil {
+		return m.exec, nil
+	}
+	return executorFor(m.cfg, kind)
+}
+
+// sessionMeta builds the durable identity record of a session.
+func sessionMeta(s *Session) (journal.SessionMeta, error) {
+	defJSON, err := s.def.JSON()
+	if err != nil {
+		return journal.SessionMeta{}, err
+	}
+	return journal.SessionMeta{
+		ID:           s.id,
+		Workflow:     defJSON,
+		TimeoutNS:    int64(s.sub.Timeout),
+		FailureP:     s.sub.FailureP,
+		FailureT:     s.sub.FailureT,
+		CollectTrace: s.sub.CollectTrace,
+		Executor:     string(s.sub.Executor),
+	}, nil
 }
 
 // finish removes a completed session from the active set.
@@ -205,6 +340,7 @@ func (m *Manager) Close() error {
 		s.Cancel(ErrManagerClosed)
 	}
 	m.wg.Wait()
+	m.events.close()
 	if m.broker != nil {
 		return m.broker.Close()
 	}
@@ -242,8 +378,10 @@ func checkServices(def *workflow.Definition, services *agent.Registry) error {
 	return nil
 }
 
-func executorFor(cfg Config) (executor.Executor, error) {
-	switch cfg.Executor {
+// executorFor instantiates the executor of the given kind from the
+// config's per-executor tuning sections.
+func executorFor(cfg Config, kind executor.Kind) (executor.Executor, error) {
+	switch kind {
 	case executor.KindSSH:
 		ssh := cfg.SSH
 		return &ssh, nil
@@ -254,6 +392,6 @@ func executorFor(cfg Config) (executor.Executor, error) {
 		e := cfg.EC2
 		return &e, nil
 	default:
-		return nil, fmt.Errorf("core: unknown distributed executor %q", cfg.Executor)
+		return nil, fmt.Errorf("core: unknown distributed executor %q", kind)
 	}
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ginflow/internal/executor"
+	"ginflow/internal/hoclflow"
+	"ginflow/internal/mq"
+	"ginflow/internal/trace"
+	"ginflow/internal/workflow"
+)
+
+// TestSubmitExecutorOverride mixes a centralized debug session and a
+// Mesos session into an SSH manager: each session runs on its chosen
+// executor while sharing the manager's platform.
+func TestSubmitExecutorOverride(t *testing.T) {
+	m := newTestManager(t, Config{
+		Executor: executor.KindSSH,
+		Broker:   mq.KindQueue,
+		Cluster:  fastCluster(8),
+	})
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(2, 2, false))
+	services := diamondServices(nil)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		opts []SubmitOption
+		want string
+	}{
+		{"default ssh", nil, string(executor.KindSSH)},
+		{"centralized debug", []SubmitOption{SubmitExecutor(executor.KindCentralized)}, string(executor.KindCentralized)},
+		{"mesos override", []SubmitOption{SubmitExecutor(executor.KindMesos)}, string(executor.KindMesos)},
+	}
+	for _, tc := range cases {
+		s, err := m.Submit(ctx, def, services, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rep, err := s.Wait(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.Executor != tc.want {
+			t.Errorf("%s: executor %q, want %q", tc.name, rep.Executor, tc.want)
+		}
+		if rep.Statuses[workflow.DiamondMergeName] != hoclflow.StatusCompleted {
+			t.Errorf("%s: merge is %v", tc.name, rep.Statuses[workflow.DiamondMergeName])
+		}
+	}
+}
+
+// TestSubmitExecutorOverrideNeedsBroker: a centralized manager has no
+// broker, so widening a session to a distributed executor fails fast.
+func TestSubmitExecutorOverrideNeedsBroker(t *testing.T) {
+	m := newTestManager(t, Config{
+		Executor: executor.KindCentralized,
+		Cluster:  fastCluster(4),
+	})
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(2, 2, false))
+	_, err := m.Submit(context.Background(), def, diamondServices(nil), SubmitExecutor(executor.KindSSH))
+	if !errors.Is(err, ErrNoBroker) {
+		t.Fatalf("got %v, want ErrNoBroker", err)
+	}
+}
+
+// TestManagerEventsMergedBus: the manager-level stream carries every
+// session's events stamped with its session ID and closes on Close.
+func TestManagerEventsMergedBus(t *testing.T) {
+	m, err := NewManager(Config{
+		Executor: executor.KindSSH,
+		Broker:   mq.KindQueue,
+		Cluster:  fastCluster(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(2, 2, false))
+	services := diamondServices(nil)
+	ctx := context.Background()
+
+	var ids []int64
+	for i := 0; i < 2; i++ {
+		s, err := m.Submit(ctx, def, services)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID())
+	}
+	m.Close()
+
+	completedBy := map[int64]bool{}
+	for e := range events { // Close closed the channel
+		if e.SessionID == 0 {
+			t.Fatalf("event without session stamp: %+v", e)
+		}
+		if e.Kind == trace.TaskCompleted {
+			completedBy[e.SessionID] = true
+		}
+	}
+	for _, id := range ids {
+		if !completedBy[id] {
+			t.Errorf("no task-completed events for session %d on the merged bus", id)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
+	"ginflow/internal/journal"
+	"ginflow/internal/mq"
 	"ginflow/internal/space"
 	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
@@ -32,10 +34,20 @@ type Session struct {
 	services *agent.Registry
 	mgr      *Manager
 	sub      SubmitConfig
+	// exec is the session's executor (possibly overridden per
+	// submission); nil selects the centralized single-interpreter path.
+	exec executor.Executor
+	// jw write-through-journals the session's space stream (nil when the
+	// manager has no journal or the session is centralized).
+	jw *journal.SessionWriter
+	// recovered marks a session rebuilt from its journal by Recover: its
+	// space is pre-folded and agents seed from the recorded task states
+	// instead of the pristine templates.
+	recovered bool
 
 	space    *space.Space
 	recorder *trace.Recorder
-	hub      *eventHub
+	hub      *hub[trace.Event]
 	cancel   context.CancelCauseFunc
 
 	done chan struct{}
@@ -54,7 +66,7 @@ func newSession(m *Manager, id int64, def *workflow.Definition, services *agent.
 		mgr:      m,
 		sub:      sub,
 		space:    space.New(),
-		hub:      newEventHub(eventBuffer(def)),
+		hub:      newHub[trace.Event](eventBuffer(def)),
 		done:     make(chan struct{}),
 	}
 	if sub.CollectTrace {
@@ -63,7 +75,48 @@ func newSession(m *Manager, id int64, def *workflow.Definition, services *agent.
 		s.recorder = trace.NewForwarder(m.cluster.Clock())
 	}
 	s.recorder.AddSink(s.hub.publish)
+	// Every session event also fans into the manager-level merged bus,
+	// stamped with the session ID.
+	s.recorder.AddSink(func(e trace.Event) {
+		m.events.publish(SessionEvent{SessionID: id, Event: e})
+	})
 	return s
+}
+
+// journalBatch appends every decodable payload of a space batch to the
+// session journal — invoked by the space's serve loop before the batch
+// folds in, so journal order equals fold order. It returns the first
+// write error: journaling is an explicit durability contract, so a
+// failing journal fails the session instead of silently degrading.
+func (s *Session) journalBatch(batch []mq.Message) error {
+	var firstErr error
+	for i := range batch {
+		atoms := batch[i].Atoms
+		if atoms == nil {
+			parsed, err := hocl.ParseMolecules(batch[i].Payload)
+			if err != nil {
+				continue // the space will count it malformed too
+			}
+			// Hand the parsed form to the fold too: the space is the
+			// sole consumer of this recycled batch buffer.
+			batch[i].Atoms = parsed
+			atoms = parsed
+		}
+		if err := s.jw.AppendStatus(atoms); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// maybeCheckpoint cuts a journal checkpoint when enough status records
+// accumulated — invoked by the serve loop right after a fold, so the
+// snapshot is consistent with every record before it.
+func (s *Session) maybeCheckpoint() error {
+	if s.jw.ShouldCheckpoint() {
+		return s.jw.Checkpoint(s.space.Snapshot().Atoms())
+	}
+	return nil
 }
 
 // eventBuffer sizes a session's per-subscriber event buffer: the stream
@@ -152,12 +205,13 @@ func (s *Session) run(ctx context.Context) {
 
 	var rep *Report
 	var err error
-	if s.mgr.exec == nil {
+	if s.exec == nil {
 		rep, err = s.runCentralized(tctx)
 	} else {
 		rep, err = s.runDistributed(tctx)
 	}
 
+	s.settleJournal(err)
 	s.mu.Lock()
 	s.report = rep
 	s.err = err
@@ -165,6 +219,28 @@ func (s *Session) run(ctx context.Context) {
 	s.hub.close()
 	s.mgr.finish(s)
 	close(s.done)
+}
+
+// settleJournal closes out the session's journal according to how the
+// session ended. A manager shutdown (ErrManagerClosed) leaves the
+// session resumable on disk — the operator chose to stop the process,
+// not the workflow; every other outcome (success, stall, explicit
+// cancel, hard failure) is terminal: Wait observed a final report, so
+// the journal is marked done and reclaimed.
+func (s *Session) settleJournal(err error) {
+	if s.jw == nil {
+		return
+	}
+	// The crash test hook froze the on-disk state mid-run: leave it
+	// exactly as a process kill would have, resumable.
+	if errors.Is(err, ErrManagerClosed) || s.jw.Crashed() {
+		s.jw.Close()
+		return
+	}
+	s.jw.Finish()
+	if s.mgr.journal != nil {
+		s.mgr.journal.RemoveSession(s.id)
+	}
 }
 
 // classifyCause maps a context cause onto the API's sentinel errors.
@@ -285,6 +361,18 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	spaceTopic := space.TopicFor(s.prefix)
 	topicPrefix := s.prefix + agent.DefaultTopicPrefix
 
+	// A recovered session does not start from the pristine templates:
+	// each agent seeds from the journaled task state, and the DAG wiring
+	// is reconciled so results whose delivery the crash swallowed are
+	// re-sent (DESIGN.md "Durability & recovery").
+	var seeded map[string]*hocl.Solution
+	if s.recovered {
+		seeded = s.space.TaskStates()
+		if err := recoverSpecs(def, specs, seeded, s.space.Triggered()); err != nil {
+			return nil, err
+		}
+	}
+
 	// Whatever happens past this point, the session must not leave state
 	// behind on the shared platform: its broker topics are purged once
 	// the agents have stopped. (Node slots are released by their own
@@ -296,18 +384,47 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	if err := sp.Attach(broker, spaceTopic); err != nil {
 		return nil, err
 	}
+	// The resync channel: a delta push that fails to anchor makes the
+	// space ask that agent for an immediate full snapshot instead of
+	// staying stale until the agent's next natural full push.
+	sp.SetResyncRequester(func(task string) {
+		_ = broker.PublishAtoms(agent.Topic(topicPrefix, task), []hocl.Atom{hoclflow.ResyncMarker(task)})
+	})
 	spaceCtx, stopSpace := context.WithCancel(context.Background())
 	defer stopSpace()
 	spaceFailed := make(chan error, 1)
+	serveSpace := func() error { return sp.Serve(spaceCtx, broker, spaceTopic) }
+	if s.jw != nil {
+		// Write-through journaling: every space-topic payload is appended
+		// to the session journal before it is folded into the space (the
+		// write-ahead contract), and checkpoints are cut on the same
+		// goroutine so snapshots are consistent with the records before
+		// them. A journal write error fails the session through the same
+		// channel a space failure does — durability was asked for.
+		journalErr := func(err error) {
+			if err == nil {
+				return
+			}
+			select {
+			case spaceFailed <- fmt.Errorf("journal write-through: %w", err):
+			default:
+			}
+		}
+		serveSpace = func() error {
+			return sp.ServeHooked(spaceCtx, broker, spaceTopic,
+				func(batch []mq.Message) { journalErr(s.journalBatch(batch)) },
+				func() { journalErr(s.maybeCheckpoint()) })
+		}
+	}
 	go func() {
-		err := sp.Serve(spaceCtx, broker, spaceTopic)
+		err := serveSpace()
 		if err != nil && spaceCtx.Err() == nil {
 			spaceFailed <- err
 		}
 	}()
 
 	// Deployment (§IV-C): claim resources, place agents.
-	placements, deployTime, err := s.mgr.exec.Deploy(ctx, specs, clus)
+	placements, deployTime, err := s.exec.Deploy(ctx, specs, clus)
 	if err != nil {
 		if cause := classifyCause(context.Cause(ctx)); cause != nil {
 			return nil, fmt.Errorf("core: deployment aborted: %w", cause)
@@ -344,6 +461,15 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 			return nil, err
 		}
 		firstIncarnations[i] = a
+	}
+
+	// Post-resume convergence: ask every recovered agent for a full
+	// status push through the resync channel. Fresh incarnations push
+	// full snapshots anyway, so this only forces the order — the space
+	// re-hears every rebuilt task even if its seeded state is already
+	// final.
+	for name := range seeded {
+		sp.RequestResync(name)
 	}
 
 	agentsCtx, stopAgents := context.WithCancel(ctx)
@@ -385,7 +511,7 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 
 	rep := &Report{
 		Workflow:   def.Name,
-		Executor:   s.mgr.exec.Name(),
+		Executor:   s.exec.Name(),
 		Broker:     string(cfg.Broker),
 		Tasks:      def.TaskCount(),
 		Agents:     len(placements),
@@ -414,20 +540,22 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// eventHub fans recorded trace events out to Events() subscribers. It is
-// deliberately lossy under backpressure: publish never blocks, so a slow
-// observer cannot stall a reducing agent.
-type eventHub struct {
+// hub fans values out to subscribers. It is deliberately lossy under
+// backpressure: publish never blocks, so a slow observer cannot stall a
+// reducing agent. It backs both the per-session event stream
+// (hub[trace.Event]) and the manager-level merged bus
+// (hub[SessionEvent]).
+type hub[T any] struct {
 	buf int
 
 	mu     sync.Mutex
 	closed bool
-	subs   []chan trace.Event
+	subs   []chan T
 }
 
-func newEventHub(buf int) *eventHub { return &eventHub{buf: buf} }
+func newHub[T any](buf int) *hub[T] { return &hub[T]{buf: buf} }
 
-func (h *eventHub) publish(e trace.Event) {
+func (h *hub[T]) publish(e T) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -441,10 +569,10 @@ func (h *eventHub) publish(e trace.Event) {
 	}
 }
 
-func (h *eventHub) subscribe() <-chan trace.Event {
+func (h *hub[T]) subscribe() <-chan T {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	ch := make(chan trace.Event, h.buf)
+	ch := make(chan T, h.buf)
 	if h.closed {
 		close(ch)
 		return ch
@@ -453,7 +581,7 @@ func (h *eventHub) subscribe() <-chan trace.Event {
 	return ch
 }
 
-func (h *eventHub) close() {
+func (h *hub[T]) close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {

@@ -1,0 +1,81 @@
+package hocl
+
+import (
+	"testing"
+)
+
+// FuzzWireDecode hardens DecodeAtoms against arbitrary bytes: the
+// journal replays records straight off disk, so a corrupt or torn
+// record must error, never panic — and whatever decodes must re-encode
+// and decode back Equal (the codec's fixpoint property).
+func FuzzWireDecode(f *testing.F) {
+	for _, atoms := range [][]Atom{
+		nil,
+		{Int(-3), Str("x"), Bool(true)},
+		{Tuple{Ident("T1"), NewSolution(Str("r"), Int(1))}},
+		{List{Float(2.5), NewSolution()}},
+	} {
+		f.Add(EncodeAtoms(atoms))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{WireVersion, 1, wireRule, 0, 3, 'b', 'a', 'd'})
+	f.Add([]byte{WireVersion, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		atoms, err := DecodeAtoms(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeAtoms(EncodeAtoms(atoms))
+		if err != nil {
+			t.Fatalf("re-decode of decoded input failed: %v", err)
+		}
+		if len(back) != len(atoms) {
+			t.Fatalf("re-decode changed arity: %d -> %d", len(atoms), len(back))
+		}
+		for i := range atoms {
+			if !atoms[i].Equal(back[i]) {
+				t.Fatalf("re-decode changed atom %d: %v -> %v", i, atoms[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzWireTextEquivalence is the codec's equivalence guard against the
+// parser path: any molecule list the textual format can express must
+// survive the binary codec structurally unchanged — the property that
+// lets the journal replace text records without changing what replay
+// rebuilds.
+func FuzzWireTextEquivalence(f *testing.F) {
+	seeds := []string{
+		"42, -1, 3.5, true, false",
+		`T1:<SRC:<>, DST:<T2, T3>, SRV:"s1", IN:<"input">, RES:<>>`,
+		`STATDELTA:T2:12:34:[5, 6]:[RES:<"r">]:true`,
+		`PASS:T1:<"x", [1, 2], <3>>`,
+		`TRIGGER:"a1"`,
+		`(rule max = replace x, y by x if x >= y)`,
+		`(rule gw = replace-one SRC:<>, IN:<*w> by SRC:<>, PAR:list(*w))`,
+		`A:(B:C):[<>, <1>]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		atoms, err := ParseMolecules(input)
+		if err != nil {
+			return
+		}
+		back, err := DecodeAtoms(EncodeAtoms(atoms))
+		if err != nil {
+			t.Fatalf("binary codec rejected parser output for %q: %v", input, err)
+		}
+		if len(back) != len(atoms) {
+			t.Fatalf("binary round trip of %q changed arity: %d -> %d", input, len(atoms), len(back))
+		}
+		for i := range atoms {
+			if !atoms[i].Equal(back[i]) {
+				t.Fatalf("binary round trip of %q changed molecule %d: %v -> %v",
+					input, i, atoms[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package hocl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// wireSamples is a battery of representative molecule lists: every atom
+// kind, nesting, inertness, and the exact shapes the journal persists
+// (task tuples, STATDELTA-like tuples, markers).
+func wireSamples(t *testing.T) [][]Atom {
+	t.Helper()
+	parsed := func(src string) []Atom {
+		atoms, err := ParseMolecules(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return atoms
+	}
+	inertSol := NewSolution(Str("out"), Int(7))
+	inertSol.SetInert(true)
+	return [][]Atom{
+		nil,
+		{Int(0)},
+		{Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(-0.5), Float(math.Inf(1)), Float(math.SmallestNonzeroFloat64)},
+		{Str(""), Str("he\"llo\nworld"), Str("plain")},
+		{Bool(true), Bool(false)},
+		{Ident("T1"), Ident("MERGE_17'")},
+		{Tuple{Ident("SRC"), NewSolution(Ident("T1"), Ident("T2"))}},
+		{List{Int(1), List{Int(2)}, NewSolution()}},
+		{Tuple{Ident("T4"), inertSol}},
+		parsed(`T1:<SRC:<>, DST:<T2, T3>, SRV:"s1", IN:<"input">, RES:<>>`),
+		parsed(`STATDELTA:T2:12:34:[5, 6]:[RES:<"r">]:true`),
+		parsed(`TRIGGER:"a1", PASS:T1:<"x", [1, 2], <3.5>>`),
+		parsed(`(rule max = replace x, y by x if x >= y)`),
+		parsed(`(rule gw = replace-one SRC:<>, IN:<*w> by SRC:<>, PAR:list(*w))`),
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, atoms := range wireSamples(t) {
+		data := EncodeAtoms(atoms)
+		back, err := DecodeAtoms(data)
+		if err != nil {
+			t.Fatalf("sample %d: decode: %v", i, err)
+		}
+		if len(back) != len(atoms) {
+			t.Fatalf("sample %d: arity %d -> %d", i, len(atoms), len(back))
+		}
+		for j := range atoms {
+			if !atoms[j].Equal(back[j]) {
+				t.Fatalf("sample %d atom %d: %v -> %v", i, j, atoms[j], back[j])
+			}
+		}
+		// Fingerprint equality is stronger than Equal for rules (it folds
+		// the rendered body) and catches lossy re-encoding.
+		if Fingerprint(atoms...) != Fingerprint(back...) {
+			t.Fatalf("sample %d: fingerprint changed across round trip", i)
+		}
+	}
+}
+
+func TestWireRoundTripPreservesInertness(t *testing.T) {
+	inert := NewSolution(Str("done"))
+	inert.SetInert(true)
+	active := NewSolution(Str("pending"))
+	back, err := DecodeAtoms(EncodeAtoms([]Atom{inert, active}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back[0].(*Solution).Inert() {
+		t.Error("inert solution decoded active")
+	}
+	if back[1].(*Solution).Inert() {
+		t.Error("active solution decoded inert")
+	}
+}
+
+func TestWireRoundTripPreservesFloatBits(t *testing.T) {
+	// 1/3 does not survive the %g textual path bit-exactly at shallow
+	// precision; the binary codec must.
+	v := Float(1.0 / 3.0)
+	back, err := DecodeAtoms(EncodeAtoms([]Atom{v}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back[0].(Float); got != v {
+		t.Fatalf("float changed: %v -> %v", float64(v), float64(got))
+	}
+	// NaN round-trips too (Equal treats NaN == NaN).
+	nan, err := DecodeAtoms(EncodeAtoms([]Atom{Float(math.NaN())}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(nan[0].(Float))) {
+		t.Fatal("NaN did not round-trip")
+	}
+}
+
+func TestWireDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeAtoms([]Atom{Tuple{Ident("T1"), NewSolution(Str("x"))}, Int(42)})
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      append([]byte{99}, good[1:]...),
+		"truncated tail":   good[:len(good)-1],
+		"trailing garbage": append(bytes.Clone(good), 0),
+		"unknown tag":      append(bytes.Clone(good), 250),
+	}
+	for name, data := range cases {
+		if _, err := DecodeAtoms(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Every single-byte truncation must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeAtoms(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWireDecodeRejectsHugeCounts(t *testing.T) {
+	// A corrupt element count far beyond the buffer must fail fast
+	// without attempting the allocation.
+	data := []byte{WireVersion}
+	data = append(data, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01) // uvarint 2^63-ish
+	if _, err := DecodeAtoms(data); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestWireAppendAtomsReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	atoms := []Atom{Tuple{Ident("T1"), NewSolution(Str("x"))}}
+	out := AppendAtoms(buf, atoms)
+	if &out[0] != &buf[:1][0] {
+		t.Skip("buffer grew; nothing to assert")
+	}
+	back, err := DecodeAtoms(out)
+	if err != nil || !back[0].Equal(atoms[0]) {
+		t.Fatalf("append-path decode failed: %v", err)
+	}
+}

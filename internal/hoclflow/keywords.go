@@ -23,6 +23,7 @@ const (
 	KeyTRIGGER = hocl.Ident("TRIGGER") // adaptation-fired marker: TRIGGER:"id"
 	KeyADDDST  = hocl.Ident("ADDDST")  // user-level reconfiguration atom
 	KeyMVSRC   = hocl.Ident("MVSRC")   // user-level reconfiguration atom
+	KeyRESYNC  = hocl.Ident("RESYNC")  // space-to-agent full-push request
 	AtomERROR  = hocl.Ident("ERROR")   // failed invocation marker in RES
 )
 

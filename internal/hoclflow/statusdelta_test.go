@@ -170,3 +170,22 @@ func TestStatusEncoderSnapshotsAddedAtoms(t *testing.T) {
 		t.Errorf("wire payload observed a post-encode mutation: %v", added)
 	}
 }
+
+// TestResyncMarkerRoundTrip covers the RESYNC control molecule's codec.
+func TestResyncMarkerRoundTrip(t *testing.T) {
+	m := ResyncMarker("T7")
+	task, ok := DecodeResync(m)
+	if !ok || task != "T7" {
+		t.Fatalf("DecodeResync(ResyncMarker) = %q, %v", task, ok)
+	}
+	for _, not := range []hocl.Atom{
+		hocl.Ident("RESYNC"),
+		hocl.Tuple{KeyRESYNC},
+		hocl.Tuple{KeyRESYNC, hocl.Str("T7")},
+		hocl.Tuple{KeyPASS, hocl.Ident("T7")},
+	} {
+		if _, ok := DecodeResync(not); ok {
+			t.Errorf("DecodeResync accepted %v", not)
+		}
+	}
+}

@@ -82,12 +82,62 @@ type Space struct {
 	deltasApplied  int64
 	deltaFallbacks int64
 
+	// resync, when set, is invoked (outside the lock) with the name of a
+	// task whose delta-encoded status push failed to anchor: the space
+	// asks the agent for an immediate full push instead of staying stale
+	// until the agent's next natural snapshot. resyncPending dedups the
+	// requests — one per task until a full snapshot heals it.
+	resync        func(task string)
+	resyncPending map[string]bool
+	resyncWant    []string // requests accumulated under the current fold
+	resyncSent    int64
+
 	sub *mq.Subscription
 }
 
 // New returns an empty space.
 func New() *Space {
-	return &Space{tasks: map[string]*taskState{}, changed: make(chan struct{})}
+	return &Space{
+		tasks:         map[string]*taskState{},
+		changed:       make(chan struct{}),
+		resyncPending: map[string]bool{},
+	}
+}
+
+// SetResyncRequester installs the space-to-agent resync channel: fn is
+// called with a task name whenever a delta for it could not be applied
+// (unknown task or fingerprint mismatch), at most once per task until a
+// full snapshot for that task arrives. fn is invoked outside the space
+// lock, after the batch that tripped it has been folded. Typically fn
+// publishes a hoclflow.ResyncMarker to the task's inbox topic.
+func (s *Space) SetResyncRequester(fn func(task string)) {
+	s.mu.Lock()
+	s.resync = fn
+	s.mu.Unlock()
+}
+
+// RequestResync asks the task's agent for a full status push through
+// the installed resync requester (a no-op without one). Recovery uses
+// it to force post-resume convergence of every rebuilt task.
+func (s *Space) RequestResync(task string) {
+	s.mu.Lock()
+	fn := s.resync
+	pending := s.resyncPending[task]
+	if fn != nil && !pending {
+		s.resyncPending[task] = true
+		s.resyncSent++
+	}
+	s.mu.Unlock()
+	if fn != nil && !pending {
+		fn(task)
+	}
+}
+
+// ResyncRequests reports how many resync requests the space has issued.
+func (s *Space) ResyncRequests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resyncSent
 }
 
 // UpdateTask stores the latest sub-solution pushed by a task's agent,
@@ -108,6 +158,8 @@ func (s *Space) updateTaskLocked(name string, sub *hocl.Solution) {
 	st.sub = sub
 	st.owned = false
 	st.hashed = false
+	// A full snapshot heals whatever staleness a refused delta left.
+	delete(s.resyncPending, name)
 }
 
 // AddMarker records a global molecule (e.g. TRIGGER:"id").
@@ -313,6 +365,17 @@ func (s *Space) Attach(broker mq.Broker, topic string) error {
 // counted and skipped — a resilient space does not die on a corrupt
 // message.
 func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error {
+	return s.ServeHooked(ctx, broker, topic, nil, nil)
+}
+
+// ServeHooked consumes like Serve with two optional observation hooks
+// running on the consuming goroutine, in exact fold order: before is
+// invoked with each raw batch before it is folded in (the journal's
+// write-ahead point), after once the fold completed (the checkpoint
+// point). Hooks see batches in the order the space applies them — the
+// ordering guarantee a write-ahead log needs and a second subscriber
+// could not give.
+func (s *Space) ServeHooked(ctx context.Context, broker mq.Broker, topic string, before func([]mq.Message), after func()) error {
 	if err := s.Attach(broker, topic); err != nil {
 		return err
 	}
@@ -326,9 +389,29 @@ func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error
 		case <-ctx.Done():
 			return ctx.Err()
 		case batch := <-batches:
+			if before != nil {
+				before(batch)
+			}
 			s.ApplyBatch(batch)
+			if after != nil {
+				after()
+			}
 		}
 	}
+}
+
+// TaskStates returns a copy-on-write snapshot of every task's recorded
+// sub-solution, keyed by task name — the per-task view crash recovery
+// seeds replacement agents from. The caller may mutate the returned
+// solutions freely.
+func (s *Space) TaskStates() map[string]*hocl.Solution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*hocl.Solution, len(s.tasks))
+	for name, st := range s.tasks {
+		out[name] = st.sub.SnapshotSolution()
+	}
+	return out
 }
 
 // ApplyBatch folds a batch of status messages into the space under one
@@ -338,7 +421,6 @@ func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error
 func (s *Space) ApplyBatch(msgs []mq.Message) int {
 	n := 0
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	applied := int64(0)
 	for i := range msgs {
 		if s.applyMessageLocked(msgs[i], &applied) {
@@ -346,6 +428,9 @@ func (s *Space) ApplyBatch(msgs []mq.Message) int {
 		}
 	}
 	s.finishApplyLocked(applied)
+	fn, want := s.takeResyncLocked()
+	s.mu.Unlock()
+	fireResync(fn, want)
 	return n
 }
 
@@ -354,11 +439,34 @@ func (s *Space) ApplyBatch(msgs []mq.Message) int {
 // zero-reparse path; textual payloads are parsed first.
 func (s *Space) ApplyMessage(msg mq.Message) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	applied := int64(0)
 	ok := s.applyMessageLocked(msg, &applied)
 	s.finishApplyLocked(applied)
+	fn, want := s.takeResyncLocked()
+	s.mu.Unlock()
+	fireResync(fn, want)
 	return ok
+}
+
+// takeResyncLocked drains the resync requests accumulated by the fold
+// just performed; the caller fires them after releasing the lock, so
+// the requester callback can publish without re-entering the space.
+func (s *Space) takeResyncLocked() (func(task string), []string) {
+	if s.resync == nil || len(s.resyncWant) == 0 {
+		return nil, nil
+	}
+	want := s.resyncWant
+	s.resyncWant = nil
+	return s.resync, want
+}
+
+func fireResync(fn func(task string), tasks []string) {
+	if fn == nil {
+		return
+	}
+	for _, t := range tasks {
+		fn(t)
+	}
 }
 
 // finishApplyLocked records applied updates and wakes waiters once —
@@ -434,12 +542,12 @@ func (s *Space) applyAtomsLocked(atoms []hocl.Atom, applied *int64) {
 func (s *Space) applyDeltaLocked(d *hoclflow.StatusDelta) bool {
 	st, ok := s.tasks[d.Task]
 	if !ok {
-		s.deltaFallbacks++
+		s.deltaFallbackLocked(d.Task)
 		return false
 	}
 	st.ensureHashed()
 	if st.msh.Fingerprint() != d.Base {
-		s.deltaFallbacks++
+		s.deltaFallbackLocked(d.Task)
 		return false
 	}
 	// Resolve every removal hash and dry-run the whole patch on a copy
@@ -462,7 +570,7 @@ func (s *Space) applyDeltaLocked(d *hoclflow.StatusDelta) bool {
 				}
 			}
 			if found < 0 {
-				s.deltaFallbacks++
+				s.deltaFallbackLocked(d.Task)
 				return false
 			}
 			taken[found] = true
@@ -476,7 +584,7 @@ func (s *Space) applyDeltaLocked(d *hoclflow.StatusDelta) bool {
 		next.Add(addedHashes[i])
 	}
 	if next.Fingerprint() != d.Next {
-		s.deltaFallbacks++
+		s.deltaFallbackLocked(d.Task)
 		return false
 	}
 
@@ -506,6 +614,18 @@ func (s *Space) applyDeltaLocked(d *hoclflow.StatusDelta) bool {
 	st.sub.SetInert(d.Inert)
 	s.deltasApplied++
 	return true
+}
+
+// deltaFallbackLocked counts a refused delta and queues a resync
+// request for the task (once per task until a full snapshot heals it).
+func (s *Space) deltaFallbackLocked(task string) {
+	s.deltaFallbacks++
+	if s.resync == nil || s.resyncPending[task] {
+		return
+	}
+	s.resyncPending[task] = true
+	s.resyncSent++
+	s.resyncWant = append(s.resyncWant, task)
 }
 
 // Malformed returns the number of undecodable payloads seen.

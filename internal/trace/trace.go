@@ -27,6 +27,9 @@ const (
 	AgentCrashed     Kind = "agent-crashed"
 	AgentRecovered   Kind = "agent-recovered"
 	TaskCompleted    Kind = "task-completed"
+	// SessionRecovered marks a whole session resumed from its journal by
+	// a fresh Manager process (DESIGN.md "Durability & recovery").
+	SessionRecovered Kind = "session-recovered"
 )
 
 // Event is one timeline entry.

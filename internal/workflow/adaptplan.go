@@ -1,0 +1,56 @@
+package workflow
+
+// AdaptationPlan is the derived wiring of one adaptation, exposed for
+// consumers outside the translation path — chiefly crash recovery
+// (internal/core), which must reason about which replacement tasks are
+// live and how a triggered adaptation rewired the DAG.
+type AdaptationPlan struct {
+	// ID is the adaptation's identifier (TRIGGER markers carry it).
+	ID string
+	// Sources are the main tasks outside the faulty sub-workflow that
+	// feed the replacement and re-send their results on adaptation.
+	Sources []string
+	// AddDst maps each source to the replacement tasks it serves.
+	AddDst map[string][]string
+	// Destination is the unique main task receiving the replaced
+	// sub-workflow's output.
+	Destination string
+	// FaultyFinals are the faulty tasks wired into Destination's SRC
+	// before adaptation (mv_src removes them).
+	FaultyFinals []string
+	// ReplacementFinals are the replacement tasks wired into
+	// Destination's SRC by mv_src.
+	ReplacementFinals []string
+	// ReplacementIDs lists every task of the replacement sub-workflow.
+	ReplacementIDs []string
+}
+
+// AdaptationPlans computes the wiring of every adaptation in the
+// definition. It fails on the same structural errors Validate reports
+// for adaptations (Fig. 9 validity).
+func (d *Definition) AdaptationPlans() ([]AdaptationPlan, error) {
+	var out []AdaptationPlan
+	for i := range d.Adaptations {
+		a := &d.Adaptations[i]
+		p, err := a.plan(d)
+		if err != nil {
+			return nil, err
+		}
+		ap := AdaptationPlan{
+			ID:                a.ID,
+			Sources:           append([]string(nil), p.sources...),
+			AddDst:            map[string][]string{},
+			Destination:       p.destination,
+			FaultyFinals:      append([]string(nil), p.faultyFinals...),
+			ReplacementFinals: append([]string(nil), p.replacementFinals...),
+		}
+		for k, v := range p.addDst {
+			ap.AddDst[k] = append([]string(nil), v...)
+		}
+		for _, r := range a.Replacement {
+			ap.ReplacementIDs = append(ap.ReplacementIDs, r.ID)
+		}
+		out = append(out, ap)
+	}
+	return out, nil
+}
