@@ -10,7 +10,10 @@
 //	ginflow-bench -fig sweep  diamond scaling sweep (8x8 .. 24x24),
 //	                          standalone runs vs. one shared Manager
 //	                          multiplexing the whole sweep concurrently
-//	ginflow-bench -fig all    everything, in order
+//	ginflow-bench -fig chaos  chaos soak: seeded fault schedules
+//	                          (-chaos-seeds of them) that must all
+//	                          converge to the chaos-free outcome
+//	ginflow-bench -fig all    everything above except chaos, in order
 //
 // The sweep takes extra knobs: -sizes picks the mesh sizes (e.g.
 // -sizes 8,16), -shards sets the broker shard count (1 = the unsharded
@@ -43,7 +46,7 @@ func main() {
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | sweep | all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 12a | 12b | 13 | 14 | 15 | 16 | sweep | chaos | all")
 		quick    = flag.Bool("quick", false, "reduced sweeps")
 		runs     = flag.Int("runs", 3, "repetitions for averaged experiments (paper: up to 10)")
 		scale    = flag.Duration("scale", time.Millisecond, "real time per model second")
@@ -53,6 +56,7 @@ func run() error {
 		sizes    = flag.String("sizes", "", "comma-separated sweep mesh sizes, e.g. 8,16,24 (sweep only)")
 		fan      = flag.Int("fan", 1, "concurrent copies of each sweep size on the shared Manager (sweep only)")
 		jsonPath = flag.String("json", "", "write sweep results as JSON to this path (sweep only)")
+		chaosN   = flag.Int("chaos-seeds", 10, "seeded fault schedules to soak (chaos only)")
 	)
 	flag.Parse()
 
@@ -89,6 +93,8 @@ func run() error {
 			_, _, err = bench.Fig16(opts)
 		case "sweep":
 			err = runSweep(opts, sweepSizes, *jsonPath)
+		case "chaos":
+			err = bench.ChaosSoak(opts, *chaosN)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}

@@ -53,6 +53,7 @@ import (
 	"ginflow/internal/cluster"
 	"ginflow/internal/core"
 	"ginflow/internal/executor"
+	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/montage"
@@ -98,6 +99,12 @@ type (
 	ExecutorKind = executor.Kind
 	// BrokerKind selects a messaging middleware (§IV-A).
 	BrokerKind = mq.Kind
+	// ChaosConfig parameterises the deterministic chaos harness: seeded
+	// fault injection at the message, invocation, deployment and journal
+	// boundaries. One seed replays one fault schedule exactly.
+	ChaosConfig = failure.ChaosConfig
+	// RetryConfig bounds the retry-with-backoff loops run under chaos.
+	RetryConfig = failure.RetryConfig
 )
 
 // Executor kinds (§IV-C; EC2 is the cloud executor the paper sketches
@@ -150,6 +157,18 @@ const (
 	EventAgentRecovered   = trace.AgentRecovered
 	EventTaskCompleted    = trace.TaskCompleted
 	EventSessionRecovered = trace.SessionRecovered
+	// EventServiceFaulted marks a transient injected invocation fault;
+	// the agent retries with backoff.
+	EventServiceFaulted = trace.ServiceFaulted
+	// EventMessageDeduped marks a duplicated delivery suppressed by the
+	// inbox sequence protocol.
+	EventMessageDeduped = trace.MessageDeduped
+	// EventAgentEscalated marks an agent abandoned after its retry
+	// budget ran out; the session fails with the cause chain.
+	EventAgentEscalated = trace.AgentEscalated
+	// EventEventsDropped summarises events lost on the lossy live
+	// stream, recorded once per session.
+	EventEventsDropped = trace.EventsDropped
 )
 
 // Sentinel errors of the Manager API, matchable with errors.Is.
@@ -171,6 +190,10 @@ var (
 	// ErrNoJournal reports a Recover call on a Manager built without
 	// WithJournal.
 	ErrNoJournal = core.ErrNoJournal
+	// ErrRetriesExhausted reports a retry budget spent on injected
+	// transient faults: a failed session's error chain matches it when
+	// chaos escalation (rather than a stall) ended the run.
+	ErrRetriesExhausted = failure.ErrRetriesExhausted
 )
 
 // Option configures a Manager. Options cover the same ground as the
@@ -217,6 +240,22 @@ func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = 
 // WithTrace retains each session's full event timeline in Report.Events
 // by default (live streaming via Handle.Events needs no option).
 func WithTrace() Option { return func(c *Config) { c.CollectTrace = true } }
+
+// WithChaos enables the deterministic chaos harness: every boundary the
+// config selects — message delivery (drop, duplicate, delay, reorder),
+// service invocation (transient error, timeout, slow-down), agent
+// deployment and journal I/O (write error, torn write, slow fsync) — is
+// perturbed by a seeded schedule. The same seed over the same workload
+// replays the same faults, so a failing run is reproducible from its
+// seed alone. Pair with WithRetry to tune how hard the engine fights
+// back before escalating.
+func WithChaos(cc ChaosConfig) Option { return func(c *Config) { c.Chaos = cc } }
+
+// WithRetry bounds the retry-with-backoff loops run under WithChaos
+// (invocation retries, deployment retries, journal write retries). The
+// zero value takes the defaults (5 attempts, 0.5 model-second base,
+// doubling).
+func WithRetry(rc RetryConfig) Option { return func(c *Config) { c.Retry = rc } }
 
 // WithJournal makes every distributed session durable: the submitted
 // workflow, periodic space snapshots and the status-push stream are
@@ -296,6 +335,10 @@ func (m *Manager) Active() int { return m.inner.Active() }
 // channel closes when the Manager closes.
 func (m *Manager) Events() <-chan SessionEvent { return m.inner.Events() }
 
+// EventsDropped reports how many merged-bus events were lost to slow
+// consumers of Manager.Events.
+func (m *Manager) EventsDropped() int64 { return m.inner.EventsDropped() }
+
 // Recover scans the journal directory (WithJournal) for sessions a
 // previous Manager process left unfinished — a crash, or a graceful
 // Close mid-run — rebuilds each one from its snapshot + delta log and
@@ -352,6 +395,11 @@ func (h *Handle) Status() map[string]TaskStatus { return h.s.Status() }
 // loses events rather than stalling agents — and the channel closes when
 // the session finishes.
 func (h *Handle) Events() <-chan Event { return h.s.Events() }
+
+// EventsDropped reports how many live events were lost because an
+// Events subscriber stopped draining — the observable cost of the lossy
+// delivery contract (also surfaced in Report.EventsDropped).
+func (h *Handle) EventsDropped() int64 { return h.s.EventsDropped() }
 
 // Run executes a workflow with the given services under the given
 // configuration and returns the run report: the single-shot

@@ -47,6 +47,36 @@ func IsCrash(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// EscalationError reports a service invocation abandoned after its
+// bounded retry budget: every attempt hit a transient fault. The
+// supervisor escalates it — the session fails with the structured cause
+// chain instead of stalling. errors.Is matches both
+// failure.ErrRetriesExhausted and the underlying cause chain.
+type EscalationError struct {
+	// Task and Incarnation identify the failing agent.
+	Task        string
+	Incarnation int
+	// Service is the invoked service name.
+	Service string
+	// Attempts is how many invocation attempts were made.
+	Attempts int
+	// Cause is the last attempt's fault.
+	Cause error
+}
+
+func (e *EscalationError) Error() string {
+	return fmt.Sprintf("agent %s (incarnation %d): service %q: %v after %d attempts: %v",
+		e.Task, e.Incarnation, e.Service, failure.ErrRetriesExhausted, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the last fault for errors.Is/As chains.
+func (e *EscalationError) Unwrap() error { return e.Cause }
+
+// Is matches failure.ErrRetriesExhausted, which the message embeds.
+func (e *EscalationError) Is(target error) bool {
+	return target == failure.ErrRetriesExhausted
+}
+
 // Config wires one agent incarnation.
 type Config struct {
 	Spec workflow.AgentSpec
@@ -63,6 +93,13 @@ type Config struct {
 	Services *Registry
 	// Injector draws crash plans (nil or zero: no failures).
 	Injector *failure.Injector
+	// Chaos, when enabled, perturbs service invocations with transient
+	// faults (errors, timeouts, slow-downs) that the agent retries under
+	// Retry before escalating.
+	Chaos *failure.Schedule
+	// Retry bounds the retry-with-backoff for transient invocation
+	// faults (zero value: failure.RetryConfig defaults).
+	Retry failure.RetryConfig
 	// SpaceTopic receives status pushes (default space.DefaultTopic).
 	SpaceTopic string
 	// TopicPrefix prefixes inbox topics (default DefaultTopicPrefix).
@@ -101,6 +138,19 @@ type Agent struct {
 	completedSeen bool
 	sends         atomic.Int64
 	reductions    atomic.Int64
+
+	// sendSeq numbers this incarnation's outgoing messages per topic;
+	// each direct message is prefixed with a SEQ header so the receiver
+	// can suppress duplicated deliveries. Touched only by the reduction
+	// goroutine.
+	sendSeq map[string]int64
+	// seen records ingested (origin, seq) pairs with the payload
+	// fingerprint that carried them: a repeat with the same fingerprint
+	// is a duplicate delivery and is suppressed; a repeat with a
+	// different fingerprint is a respawned sender reusing its counter
+	// and is accepted. Touched only by the ingest goroutine.
+	seen map[string]map[int64]uint64
+	dups atomic.Int64
 }
 
 // New builds an agent incarnation from its spec. The spec's template
@@ -115,6 +165,7 @@ func New(cfg Config) *Agent {
 	}
 	a.local = cfg.Spec.Local.SnapshotSolution()
 	a.statusEnc.Task = a.name
+	a.statusEnc.Incarnation = cfg.Incarnation
 	a.rng = cfg.Rand
 	if a.rng == nil && cfg.Cluster != nil {
 		a.rng = cfg.Cluster.Rand()
@@ -135,6 +186,10 @@ func (a *Agent) Sends() int64 { return a.sends.Load() }
 
 // Reductions returns the number of reduction passes performed.
 func (a *Agent) Reductions() int64 { return a.reductions.Load() }
+
+// DuplicatesSuppressed returns how many duplicated deliveries the inbox
+// sequence protocol suppressed in this incarnation.
+func (a *Agent) DuplicatesSuppressed() int64 { return a.dups.Load() }
 
 // Local exposes the agent's local solution for inspection in tests and
 // reports. The caller must not mutate it while Run is active.
@@ -214,6 +269,12 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 		a.cfg.Trace.Record(trace.AgentCrashed, a.name, a.cfg.Incarnation, string(svcName))
 		return nil, &CrashError{Task: a.name, Incarnation: a.cfg.Incarnation, At: a.clock().Now()}
 	}
+	if a.cfg.Chaos.Enabled() {
+		var err error
+		if dur, err = a.rideOutFaults(string(svcName), dur); err != nil {
+			return nil, err
+		}
+	}
 	if err := a.sleep(dur); err != nil {
 		return nil, err
 	}
@@ -225,6 +286,50 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 	}
 	a.cfg.Trace.Record(trace.ServiceCompleted, a.name, a.cfg.Incarnation, string(svcName))
 	return []hocl.Atom{result}, nil
+}
+
+// rideOutFaults draws the chaos schedule's invocation boundary and
+// retries transient faults under the bounded backoff budget:
+//
+//   - slow: the call succeeds but takes longer (added to dur, no retry);
+//   - error: the attempt fails fast, is traced and retried after
+//     backoff;
+//   - timeout: the service runs its full duration, the response is
+//     lost, and the attempt is retried after backoff.
+//
+// Exhaustion returns an EscalationError whose chain matches
+// failure.ErrRetriesExhausted; the supervisor escalates it into a
+// session failure.
+func (a *Agent) rideOutFaults(svcName string, dur float64) (float64, error) {
+	rc := a.cfg.Retry.WithDefaults()
+	for attempt := 1; ; attempt++ {
+		f := a.cfg.Chaos.Draw(failure.BoundaryInvoke)
+		switch f.Kind {
+		case failure.FaultSlow:
+			return dur + f.Delay, nil
+		case failure.FaultError, failure.FaultTimeout:
+			cost := f.Delay
+			if f.Kind == failure.FaultTimeout {
+				cost = dur // the service ran to its deadline before the response was lost
+			}
+			if err := a.sleep(cost); err != nil {
+				return 0, err
+			}
+			a.cfg.Trace.Record(trace.ServiceFaulted, a.name, a.cfg.Incarnation,
+				fmt.Sprintf("%s attempt %d: %v", svcName, attempt, f.Err))
+			if attempt >= rc.MaxAttempts {
+				return 0, &EscalationError{
+					Task: a.name, Incarnation: a.cfg.Incarnation,
+					Service: svcName, Attempts: attempt, Cause: f.Err,
+				}
+			}
+			if err := a.sleep(rc.Delay(attempt)); err != nil {
+				return 0, err
+			}
+		default:
+			return dur, nil
+		}
+	}
 }
 
 // send implements the decentralised gw_pass product (§IV-A): ship the
@@ -242,8 +347,9 @@ func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 	if !ok {
 		return nil, fmt.Errorf("send: destination is %s, want task name", args[0].Kind())
 	}
-	payload := []hocl.Atom{hoclflow.PassMessage(a.name, hocl.SnapshotAtoms(args[1:]))}
-	a.publishWithLatency(Topic(a.cfg.TopicPrefix, string(dst)), payload, a.linkLatencyTo(string(dst)))
+	topic := Topic(a.cfg.TopicPrefix, string(dst))
+	payload := a.stampSeq(topic, hoclflow.PassMessage(a.name, hocl.SnapshotAtoms(args[1:])))
+	a.publishWithLatency(topic, payload, a.linkLatencyTo(string(dst)))
 	a.sends.Add(1)
 	a.cfg.Trace.Record(trace.ResultSent, a.name, a.cfg.Incarnation, string(dst))
 	return nil, nil
@@ -254,13 +360,47 @@ func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 // hosting add_dst/mv_src rules and records TRIGGER in the shared space.
 func (a *Agent) fireTrigger(trig workflow.TriggerSpec) error {
 	a.cfg.Trace.Record(trace.AdaptTriggered, a.name, a.cfg.Incarnation, trig.AdaptationID)
-	marker := []hocl.Atom{hoclflow.AdaptMarker(trig.AdaptationID)}
+	marker := hoclflow.AdaptMarker(trig.AdaptationID)
 	for _, peer := range trig.Notify {
-		a.publishWithLatency(Topic(a.cfg.TopicPrefix, peer), marker, a.linkLatencyTo(peer))
+		t := Topic(a.cfg.TopicPrefix, peer)
+		a.publishWithLatency(t, a.stampSeq(t, marker), a.linkLatencyTo(peer))
 		a.sends.Add(1)
 	}
 	a.publishWithLatency(a.spaceTopic(), []hocl.Atom{hoclflow.TriggerMarker(trig.AdaptationID)}, 0)
 	return nil
+}
+
+// stampSeq wraps a direct message's body with this incarnation's next
+// per-destination SEQ header, the receiver's handle for suppressing
+// duplicated deliveries (exactly-once ingestion).
+func (a *Agent) stampSeq(topic string, body hocl.Atom) []hocl.Atom {
+	if a.sendSeq == nil {
+		a.sendSeq = map[string]int64{}
+	}
+	a.sendSeq[topic]++
+	return []hocl.Atom{hoclflow.SeqMarker(a.name, a.sendSeq[topic]), body}
+}
+
+// dupSeq records a message's (origin, seq, payload fingerprint)
+// identity and reports whether that exact message was ingested before.
+// The fingerprint guards the one legitimate reuse of a sequence number:
+// a respawned sender restarts its counter, and its re-send may carry
+// different content that must not be suppressed.
+func (a *Agent) dupSeq(origin string, n int64, payload []hocl.Atom) bool {
+	fp := hocl.Fingerprint(payload...)
+	if a.seen == nil {
+		a.seen = map[string]map[int64]uint64{}
+	}
+	m := a.seen[origin]
+	if m == nil {
+		m = map[int64]uint64{}
+		a.seen[origin] = m
+	}
+	if prev, ok := m[n]; ok && prev == fp {
+		return true
+	}
+	m[n] = fp
+	return false
 }
 
 func (a *Agent) linkLatencyTo(peer string) float64 {
@@ -336,31 +476,43 @@ func (a *Agent) reduce() error {
 // RESYNC markers are control messages, not molecules: they reset the
 // status encoder so the next push is a full snapshot (the space asked
 // for one after refusing a delta) and never enter the local solution.
+// SEQ headers are checked first: a message whose (origin, seq, payload
+// fingerprint) was already ingested is a duplicated delivery and is
+// dropped whole (exactly-once ingestion over at-least-once transport).
 func (a *Agent) ingest(msg mq.Message) {
 	if msg.Structural() {
-		for _, atom := range msg.Atoms {
-			if _, ok := hoclflow.DecodeResync(atom); ok {
-				a.statusEnc.Reset()
-				continue
-			}
-			if hocl.Shareable(atom) {
-				a.local.Add(atom)
-			} else {
-				a.local.Add(atom.Clone())
-			}
-		}
+		a.ingestAtoms(msg.Atoms)
 		return
 	}
 	atoms, err := hocl.ParseMolecules(msg.Payload)
 	if err != nil {
 		return
 	}
+	a.ingestAtoms(atoms)
+}
+
+func (a *Agent) ingestAtoms(atoms []hocl.Atom) {
+	if len(atoms) > 0 {
+		if origin, n, ok := hoclflow.DecodeSeq(atoms[0]); ok {
+			atoms = atoms[1:]
+			if a.dupSeq(origin, n, atoms) {
+				a.dups.Add(1)
+				a.cfg.Trace.Record(trace.MessageDeduped, a.name, a.cfg.Incarnation,
+					fmt.Sprintf("%s#%d", origin, n))
+				return
+			}
+		}
+	}
 	for _, atom := range atoms {
 		if _, ok := hoclflow.DecodeResync(atom); ok {
 			a.statusEnc.Reset()
 			continue
 		}
-		a.local.Add(atom)
+		if hocl.Shareable(atom) {
+			a.local.Add(atom)
+		} else {
+			a.local.Add(atom.Clone())
+		}
 	}
 }
 

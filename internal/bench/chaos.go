@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"ginflow/internal/core"
+	"ginflow/internal/executor"
+	"ginflow/internal/failure"
+	"ginflow/internal/mq"
+	"ginflow/internal/workflow"
+)
+
+// SoakChaosConfig returns the fault mix the chaos soak injects at every
+// seed: lossy, duplicating, delaying, reordering message delivery plus
+// transient invocation errors and slow-downs — the full message and
+// invocation surface, with probabilities high enough that a typical run
+// draws dozens of faults.
+func SoakChaosConfig(seed int64) failure.ChaosConfig {
+	return failure.ChaosConfig{
+		Seed:            seed,
+		MessageDropP:    0.05,
+		MessageDupP:     0.10,
+		MessageDelayP:   0.10,
+		MessageReorderP: 0.05,
+		InvokeErrorP:    0.05,
+		InvokeSlowP:     0.10,
+	}
+}
+
+// SoakRetryConfig returns the retry budget the chaos soak runs under:
+// generous enough that the forced fault-free draw after a consecutive
+// run (ChaosConfig.MaxConsecutive) always lands inside the budget.
+func SoakRetryConfig() failure.RetryConfig {
+	return failure.RetryConfig{MaxAttempts: 8, BackoffBase: 0.25}
+}
+
+// ChaosSoak runs `seeds` seeded chaos schedules over a diamond workload
+// on the log broker and checks each run converges to the chaos-free
+// outcome (same per-task statuses and exit results). The failing seed is
+// named in the error, so a red soak is reproducible from the log alone.
+func ChaosSoak(opts Options, seeds int) error {
+	opts = opts.withDefaults()
+	if seeds <= 0 {
+		seeds = 10
+	}
+	h, v := 4, 4
+	if opts.Quick {
+		h, v = 2, 2
+	}
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(h, v, false))
+	cleanCfg := func() core.Config {
+		return core.Config{
+			Executor: executor.KindSSH,
+			Broker:   mq.KindLog,
+			Cluster:  opts.clusterConfig(25, opts.Seed),
+		}
+	}
+	baseline, err := runOnce(opts, def, diamondServices(), cleanCfg())
+	if err != nil {
+		return fmt.Errorf("chaos soak baseline: %w", err)
+	}
+
+	fmt.Fprintf(opts.Out, "# chaos soak: %d seeded schedules, %dx%d diamond on kafka\n", seeds, h, v)
+	for i := 0; i < seeds; i++ {
+		seed := opts.Seed + int64(i)
+		cfg := cleanCfg()
+		cfg.Chaos = SoakChaosConfig(seed)
+		cfg.Retry = SoakRetryConfig()
+		rep, err := runOnce(opts, def, diamondServices(), cfg)
+		if err != nil {
+			return fmt.Errorf("chaos soak: seed %d failed: %w", seed, err)
+		}
+		if reason := outcomeDiff(baseline, rep); reason != "" {
+			return fmt.Errorf("chaos soak: seed %d diverged from the chaos-free outcome: %s", seed, reason)
+		}
+		fmt.Fprintf(opts.Out, "seed %-6d ok: exec=%7.1fs dups=%-3d dropped-events=%d\n",
+			seed, rep.ExecTime, rep.DuplicatesSuppressed, rep.EventsDropped)
+	}
+	return nil
+}
+
+// outcomeDiff compares the observable outcome of two runs: per-task
+// final statuses and exit results. It returns "" when they match, else a
+// one-line description of the first divergence.
+func outcomeDiff(a, b *core.Report) string {
+	for task, st := range a.Statuses {
+		if b.Statuses[task] != st {
+			return fmt.Sprintf("task %s status %v vs %v", task, st, b.Statuses[task])
+		}
+	}
+	if len(a.Results) != len(b.Results) {
+		return fmt.Sprintf("%d vs %d exit result sets", len(a.Results), len(b.Results))
+	}
+	for task, rs := range a.Results {
+		bs := b.Results[task]
+		if len(rs) != len(bs) {
+			return fmt.Sprintf("exit %s has %d vs %d results", task, len(rs), len(bs))
+		}
+		for i := range rs {
+			if rs[i] != bs[i] {
+				return fmt.Sprintf("exit %s result %d: %q vs %q", task, i, rs[i], bs[i])
+			}
+		}
+	}
+	return ""
+}

@@ -24,6 +24,7 @@ import (
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
 	"ginflow/internal/executor"
+	"ginflow/internal/failure"
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/journal"
 	"ginflow/internal/mq"
@@ -80,6 +81,16 @@ type Config struct {
 	// log and an unfinished session survives a Manager process crash —
 	// a fresh Manager over the same directory resumes it with Recover.
 	Journal journal.Config
+
+	// Chaos drives the deterministic fault schedule (DESIGN.md "Fault
+	// model & chaos harness"): seeded, replayable perturbation of
+	// message delivery, service invocation, agent deployment and
+	// journal I/O. The zero value disables every boundary.
+	Chaos failure.ChaosConfig
+	// Retry bounds the transient-fault retry loops run under Chaos
+	// (invocation retries, deploy retries, journal write retries); the
+	// zero value takes the failure package defaults.
+	Retry failure.RetryConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +129,14 @@ type Report struct {
 	Failures   int // observed injected crashes
 	Recoveries int // respawned incarnations
 	Messages   int64
+
+	// DuplicatesSuppressed counts deliveries the agents' inbox sequence
+	// protocol discarded as duplicates (chaos duplication, broker
+	// redelivery, recovery replay overlap).
+	DuplicatesSuppressed int64
+	// EventsDropped counts enactment events lost on the session's lossy
+	// live stream because a subscriber stopped draining.
+	EventsDropped int64
 
 	Adaptations []string // adaptation IDs that triggered
 	Statuses    map[string]hoclflow.Status

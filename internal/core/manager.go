@@ -10,6 +10,7 @@ import (
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
 	"ginflow/internal/executor"
+	"ginflow/internal/failure"
 	"ginflow/internal/journal"
 	"ginflow/internal/mq"
 	"ginflow/internal/trace"
@@ -54,6 +55,16 @@ type Manager struct {
 	exec    executor.Executor // nil for the centralized executor
 	journal *journal.Journal  // nil without Config.Journal.Dir
 	events  *hub[SessionEvent]
+	// chaos is the manager-wide deterministic fault schedule (nil when
+	// Config.Chaos is disabled); it is shared by the broker, the journal
+	// writers and every session's agents so one seed replays one run.
+	chaos *failure.Schedule
+
+	// inboxJournals dispatches the broker's publish observer to the
+	// active sessions' inbox write-through callbacks. Non-nil only when
+	// the broker is log-backed and a journal is configured.
+	inboxMu       sync.RWMutex
+	inboxJournals map[int64]func(mq.Message)
 
 	mu     sync.Mutex
 	closed bool
@@ -70,9 +81,20 @@ type Manager struct {
 // Recover.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	clus := cluster.New(cfg.Cluster)
+	var chaos *failure.Schedule
+	if cfg.Chaos.Enabled() {
+		chaos = failure.NewSchedule(cfg.Chaos)
+		// Backoff and injected delays sleep on the model clock, so chaos
+		// runs at the same accelerated scale as everything else.
+		chaos.SetSleeper(clus.Clock().Sleep)
+		cfg.Journal.Chaos = chaos
+		cfg.Journal.Retry = cfg.Retry
+	}
 	m := &Manager{
 		cfg:     cfg,
-		cluster: cluster.New(cfg.Cluster),
+		cluster: clus,
+		chaos:   chaos,
 		active:  map[int64]*Session{},
 		events:  newHub[SessionEvent](managerEventBuffer),
 	}
@@ -87,6 +109,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		}
 		m.exec = exec
 		m.broker = broker
+		if chaos != nil {
+			if ch, ok := broker.(mq.ChaosHost); ok {
+				ch.SetChaos(chaos)
+			}
+		}
 	}
 	if cfg.Journal.Enabled() {
 		j, err := journal.Open(cfg.Journal)
@@ -103,9 +130,51 @@ func NewManager(cfg Config) (*Manager, error) {
 			}
 		}
 		m.journal = j
+		// Inbox write-through needs to see every direct-topic publish;
+		// only the log broker exposes the observer hook (the queue broker
+		// offers no replay to restore anyway).
+		if oh, ok := m.broker.(mq.ObserverHost); ok {
+			m.inboxJournals = map[int64]func(mq.Message){}
+			oh.SetPublishObserver(func(msg mq.Message) {
+				m.inboxMu.RLock()
+				for _, fn := range m.inboxJournals {
+					fn(msg)
+				}
+				m.inboxMu.RUnlock()
+			})
+		}
 	}
 	return m, nil
 }
+
+// registerInboxJournal attaches one session's inbox write-through
+// callback to the broker's publish observer; a no-op when the manager
+// has no observer hook (queue broker or no journal).
+func (m *Manager) registerInboxJournal(id int64, fn func(mq.Message)) {
+	if m.inboxJournals == nil {
+		return
+	}
+	m.inboxMu.Lock()
+	m.inboxJournals[id] = fn
+	m.inboxMu.Unlock()
+}
+
+func (m *Manager) unregisterInboxJournal(id int64) {
+	if m.inboxJournals == nil {
+		return
+	}
+	m.inboxMu.Lock()
+	delete(m.inboxJournals, id)
+	m.inboxMu.Unlock()
+}
+
+// Chaos exposes the manager's fault schedule (nil when Config.Chaos is
+// disabled); tests and tooling read its per-boundary injection counts.
+func (m *Manager) Chaos() *failure.Schedule { return m.chaos }
+
+// EventsDropped reports how many merged-bus events were lost to slow
+// consumers of Manager.Events.
+func (m *Manager) EventsDropped() int64 { return m.events.droppedCount() }
 
 // managerEventBuffer sizes the merged event bus's per-subscriber
 // buffer: it must absorb bursts from many concurrent sessions, and like

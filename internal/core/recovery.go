@@ -158,15 +158,39 @@ func (m *Manager) recoverSession(ctx context.Context, st *journal.SessionState, 
 		}
 		s.space.ApplyMessage(mq.Message{Atoms: payload})
 	}
+	// Replay advanced the space's per-task version gate to the journaled
+	// (incarnation, push) high-water marks; the resumed agents restart at
+	// incarnation 0 and push 1, so the gate must reopen or every live
+	// push would be dropped as stale.
+	s.space.ResetVersions()
+
+	// Re-seed the fresh broker's replay logs with the journaled inbox
+	// history: an agent that crashes after resume can still replay the
+	// messages its pre-crash incarnations consumed in the old process.
+	if len(st.Inbox) > 0 {
+		if lr, ok := m.broker.(mq.LogRestorer); ok {
+			byTopic := map[string][]mq.Message{}
+			var order []string
+			for _, rec := range st.Inbox {
+				if _, seen := byTopic[rec.Topic]; !seen {
+					order = append(order, rec.Topic)
+				}
+				byTopic[rec.Topic] = append(byTopic[rec.Topic], mq.Message{Topic: rec.Topic, Atoms: rec.Atoms})
+			}
+			for _, topic := range order {
+				lr.RestoreLog(topic, byTopic[topic])
+			}
+		}
+	}
 
 	// Resume write-through: the rebuilt state is checkpointed into a
 	// fresh segment before the session runs, superseding the replayed
-	// segments.
+	// segments; the inbox history is re-journaled into the fresh head.
 	meta, err := sessionMeta(s)
 	if err != nil {
 		return fail(err)
 	}
-	jw, err := m.journal.ResumeSession(meta, s.space.Snapshot().Atoms())
+	jw, err := m.journal.ResumeSession(meta, s.space.Snapshot().Atoms(), st.Inbox)
 	if err != nil {
 		return fail(err)
 	}
@@ -248,6 +272,15 @@ func recoverSpecs(def *workflow.Definition, specs []workflow.AgentSpec, states m
 			continue
 		}
 		if !intersects(pending[dest], p.FaultyFinals) {
+			// The journaled SRC no longer lists a faulty final: mv_src
+			// already applied before the crash. seedLocal re-armed the
+			// one-shot rule from the pristine template, and a faulty task
+			// journaled mid-flight will re-invoke, fail again and
+			// re-broadcast ADAPT — letting the re-armed rule re-fire would
+			// wipe an IN list that may already hold consumed replacement
+			// results the (retired) senders will never re-send, stalling
+			// the destination forever. Disarm it.
+			removeRule(destLocal, hoclflow.MvSrcRuleName(p.ID))
 			continue
 		}
 		destLocal.Add(hoclflow.AdaptMarker(p.ID))
@@ -287,6 +320,21 @@ func seedLocal(template *hocl.Solution, state *hocl.Solution) *hocl.Solution {
 		atoms = append(atoms, r)
 	}
 	return hocl.NewSolution(atoms...)
+}
+
+// removeRule strips the named rule atom from a local solution. Recovery
+// uses it to disarm one-shot adaptation rules whose firing is already
+// reflected in the journaled state: seedLocal re-arms every template
+// rule, which is correct for the gateway rules (their trigger atoms
+// were consumed with them) but not for mv_src, whose trigger — a live
+// ADAPT marker — can arrive again after resume.
+func removeRule(sol *hocl.Solution, name string) {
+	for i, a := range sol.Atoms() {
+		if r, ok := a.(*hocl.Rule); ok && r.Name == name {
+			sol.RemoveIndices([]int{i})
+			return
+		}
+	}
 }
 
 // addDestination ensures the local solution's DST set contains dst.

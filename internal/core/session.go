@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
@@ -198,6 +200,11 @@ func (s *Session) Events() <-chan trace.Event {
 	return s.hub.subscribe()
 }
 
+// EventsDropped reports how many live events were lost because an
+// Events subscriber stopped draining (the lossy contract's observable
+// cost; also surfaced in Report.EventsDropped).
+func (s *Session) EventsDropped() int64 { return s.hub.droppedCount() }
+
 // run drives the session to completion and publishes the outcome.
 func (s *Session) run(ctx context.Context) {
 	tctx, cancel := context.WithTimeoutCause(ctx, s.sub.Timeout, ErrStalled)
@@ -347,6 +354,28 @@ func (s *Session) runCentralized(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
+// deployWithRetry wraps the executor's Deploy with the chaos schedule's
+// deployment boundary: an injected fault costs one backoff and a retry,
+// and a spent retry budget fails the session with the cause chain
+// (failure.ErrRetriesExhausted) instead of deploying at all.
+func (s *Session) deployWithRetry(ctx context.Context, specs []workflow.AgentSpec, clus *cluster.Cluster) ([]executor.Placement, float64, error) {
+	ch := s.mgr.chaos
+	rc := s.mgr.cfg.Retry.WithDefaults()
+	for attempt := 1; ; attempt++ {
+		if f := ch.Draw(failure.BoundaryDeploy); f.Kind == failure.FaultError {
+			if attempt >= rc.MaxAttempts {
+				return nil, 0, fmt.Errorf("core: deployment after %d attempts: %w (%w)",
+					attempt, failure.ErrRetriesExhausted, f.Err)
+			}
+			if clus.Clock().SleepCtx(ctx, rc.Delay(attempt)) != nil {
+				return nil, 0, context.Cause(ctx)
+			}
+			continue
+		}
+		return s.exec.Deploy(ctx, specs, clus)
+	}
+}
+
 // runDistributed provisions agents through the executor under the
 // session's topic namespace and runs the decentralised engine.
 func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
@@ -393,27 +422,68 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	spaceCtx, stopSpace := context.WithCancel(context.Background())
 	defer stopSpace()
 	spaceFailed := make(chan error, 1)
+	// journalErr funnels write-through failures into the session's
+	// failure channel: durability was asked for, so a failing journal
+	// fails the session instead of silently degrading.
+	journalErr := func(err error) {
+		if err == nil {
+			return
+		}
+		select {
+		case spaceFailed <- fmt.Errorf("journal write-through: %w", err):
+		default:
+		}
+	}
 	serveSpace := func() error { return sp.Serve(spaceCtx, broker, spaceTopic) }
 	if s.jw != nil {
 		// Write-through journaling: every space-topic payload is appended
 		// to the session journal before it is folded into the space (the
 		// write-ahead contract), and checkpoints are cut on the same
 		// goroutine so snapshots are consistent with the records before
-		// them. A journal write error fails the session through the same
-		// channel a space failure does — durability was asked for.
-		journalErr := func(err error) {
-			if err == nil {
-				return
-			}
-			select {
-			case spaceFailed <- fmt.Errorf("journal write-through: %w", err):
-			default:
-			}
-		}
+		// them.
 		serveSpace = func() error {
 			return sp.ServeHooked(spaceCtx, broker, spaceTopic,
 				func(batch []mq.Message) { journalErr(s.journalBatch(batch)) },
 				func() { journalErr(s.maybeCheckpoint()) })
+		}
+		// Inbox write-through (log broker only): every direct-topic
+		// publish is journaled as it lands in the broker log, so a
+		// manager crash after resume can still replay pre-crash inbox
+		// traffic into a fresh broker. Rotation rewrites the full history
+		// from the live log into each new segment head.
+		if rep, ok := broker.(mq.Replayable); ok && s.mgr.inboxJournals != nil {
+			s.mgr.registerInboxJournal(s.id, func(msg mq.Message) {
+				if !strings.HasPrefix(msg.Topic, topicPrefix) {
+					return
+				}
+				atoms := msg.Atoms
+				if atoms == nil {
+					parsed, err := hocl.ParseMolecules(msg.Payload)
+					if err != nil {
+						return
+					}
+					atoms = parsed
+				}
+				journalErr(s.jw.AppendInbox(msg.Topic, atoms))
+			})
+			defer s.mgr.unregisterInboxJournal(s.id)
+			s.jw.SetInboxSource(func() []journal.InboxRecord {
+				var recs []journal.InboxRecord
+				for _, topic := range broker.Topics(topicPrefix) {
+					for _, m := range rep.Log(topic) {
+						atoms := m.Atoms
+						if atoms == nil {
+							parsed, err := hocl.ParseMolecules(m.Payload)
+							if err != nil {
+								continue
+							}
+							atoms = parsed
+						}
+						recs = append(recs, journal.InboxRecord{Topic: topic, Atoms: atoms})
+					}
+				}
+				return recs
+			})
 		}
 	}
 	go func() {
@@ -423,8 +493,9 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		}
 	}()
 
-	// Deployment (§IV-C): claim resources, place agents.
-	placements, deployTime, err := s.exec.Deploy(ctx, specs, clus)
+	// Deployment (§IV-C): claim resources, place agents. Injected
+	// deployment faults retry with backoff before giving up.
+	placements, deployTime, err := s.deployWithRetry(ctx, specs, clus)
 	if err != nil {
 		if cause := classifyCause(context.Cause(ctx)); cause != nil {
 			return nil, fmt.Errorf("core: deployment aborted: %w", cause)
@@ -453,6 +524,7 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		topicPrefix: topicPrefix, spaceTopic: spaceTopic,
 		restartDelay: cfg.RestartDelay, maxRecoveries: cfg.MaxRecoveries,
 		recorder: s.recorder,
+		chaos:    s.mgr.chaos, retry: cfg.Retry,
 	}
 	firstIncarnations := make([]*agent.Agent, len(placements))
 	for i, p := range placements {
@@ -509,6 +581,22 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	stopAgents()
 	wg.Wait()
 
+	// Chaos settle drain: delayed, duplicated and redelivered status
+	// pushes may still be in flight when the exit tasks report complete;
+	// let them fold into the space (the version gate drops the stale
+	// ones) before the final state is read, so the fingerprint is
+	// deterministic for a given seed.
+	if waitErr == nil {
+		if d := s.mgr.chaos.SettleSeconds(); d > 0 {
+			clock.SleepCtx(ctx, d)
+		}
+	}
+
+	if n := s.hub.droppedCount(); n > 0 {
+		s.recorder.Record(trace.EventsDropped, "", 0,
+			fmt.Sprintf("%d events lost to slow consumers", n))
+	}
+
 	rep := &Report{
 		Workflow:   def.Name,
 		Executor:   s.exec.Name(),
@@ -523,6 +611,9 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		Messages:   broker.PublishedPrefix(s.prefix),
 		Statuses:   map[string]hoclflow.Status{},
 		Results:    map[string][]string{},
+
+		DuplicatesSuppressed: sup.duplicates(),
+		EventsDropped:        s.hub.droppedCount(),
 	}
 	rep.Adaptations = sp.Triggered()
 	rep.Events = s.recorder.Events()
@@ -548,6 +639,11 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 type hub[T any] struct {
 	buf int
 
+	// dropped counts deliveries lost to full subscriber buffers — the
+	// observable cost of the lossy contract (surfaced in Report and on
+	// the EventsDropped accessors).
+	dropped atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 	subs   []chan T
@@ -565,9 +661,13 @@ func (h *hub[T]) publish(e T) {
 		select {
 		case ch <- e:
 		default: // lossy: never block the recording agent
+			h.dropped.Add(1)
 		}
 	}
 }
+
+// droppedCount returns how many deliveries were lost to slow consumers.
+func (h *hub[T]) droppedCount() int64 { return h.dropped.Load() }
 
 func (h *hub[T]) subscribe() <-chan T {
 	h.mu.Lock()

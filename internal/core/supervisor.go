@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -38,12 +39,19 @@ type supervisor struct {
 	maxRecoveries int
 	recorder      *trace.Recorder
 
+	// chaos / retry parameterise the agents' transient-fault injection
+	// and retry budget (nil chaos disables it).
+	chaos *failure.Schedule
+	retry failure.RetryConfig
+
 	failureCount  atomic.Int64
 	recoveryCount atomic.Int64
+	dupCount      atomic.Int64
 }
 
-func (s *supervisor) failures() int   { return int(s.failureCount.Load()) }
-func (s *supervisor) recoveries() int { return int(s.recoveryCount.Load()) }
+func (s *supervisor) failures() int     { return int(s.failureCount.Load()) }
+func (s *supervisor) recoveries() int   { return int(s.recoveryCount.Load()) }
+func (s *supervisor) duplicates() int64 { return s.dupCount.Load() }
 
 // newAgent builds one incarnation for a placement.
 func (s *supervisor) newAgent(p executor.Placement, incarnation int) *agent.Agent {
@@ -59,6 +67,8 @@ func (s *supervisor) newAgent(p executor.Placement, incarnation int) *agent.Agen
 		TopicPrefix: s.topicPrefix,
 		Incarnation: incarnation,
 		Trace:       s.recorder,
+		Chaos:       s.chaos,
+		Retry:       s.retry,
 	})
 }
 
@@ -73,6 +83,7 @@ func (s *supervisor) run(ctx context.Context, p executor.Placement, first *agent
 			a = s.newAgent(p, incarnation)
 		}
 		err := a.Run(ctx)
+		s.dupCount.Add(a.DuplicatesSuppressed())
 		switch {
 		case err == nil:
 			return nil // context ended: orderly shutdown
@@ -89,6 +100,13 @@ func (s *supervisor) run(ctx context.Context, p executor.Placement, first *agent
 			}
 			s.recorder.Record(trace.AgentRecovered, p.Spec.Task.Name, incarnation+1, "")
 		default:
+			// A spent retry budget escalates: the session fails with the
+			// structured cause chain instead of stalling on a silent agent.
+			var esc *agent.EscalationError
+			if errors.As(err, &esc) {
+				s.recorder.Record(trace.AgentEscalated, esc.Task, esc.Incarnation,
+					fmt.Sprintf("service %s: %d attempts: %v", esc.Service, esc.Attempts, esc.Cause))
+			}
 			return err
 		}
 	}

@@ -24,6 +24,8 @@ const (
 	KeyADDDST  = hocl.Ident("ADDDST")  // user-level reconfiguration atom
 	KeyMVSRC   = hocl.Ident("MVSRC")   // user-level reconfiguration atom
 	KeyRESYNC  = hocl.Ident("RESYNC")  // space-to-agent full-push request
+	KeySEQ     = hocl.Ident("SEQ")     // per-inbox sequence header: SEQ:T1:n
+	KeyVER     = hocl.Ident("VER")     // status version header: VER:T1:inc:push
 	AtomERROR  = hocl.Ident("ERROR")   // failed invocation marker in RES
 )
 
@@ -35,6 +37,7 @@ const (
 	RuleGwPass  = "gw_pass"
 	RuleGwSend  = "gw_send"
 	RuleGwRecv  = "gw_recv"
+	RuleGwGc    = "gw_gc"
 
 	FnInvoke = "invoke" // invoke(service, params) -> result | ERROR
 	FnSend   = "send"   // send(dest, result...) -> nothing (agent-bound)

@@ -76,6 +76,25 @@ func GwRecv() *hocl.Rule {
 		`replace PASS:t:<*res>, SRC:<t, *src>, IN:<*win> by SRC:<*src>, IN:<*res, *win>`, nil)
 }
 
+// GwGc returns the stale-PASS collector: once a task has invoked its
+// service (RES holds a result, so no further input can ever be
+// consumed), any PASS still in the local solution is garbage. Such
+// leftovers arise from at-least-once transport (a redelivered PASS
+// whose dependency gw_recv already retired) and from adaptation races
+// (a faulty final's PASS landing after mv_src rewired SRC away from
+// it). Collecting them keeps the converged solution — and therefore the
+// space fingerprint — independent of delivery timing. The RES guard is
+// what makes collection safe: before the invocation, an early PASS from
+// a replacement final must survive until mv_src wires its sender into
+// SRC.
+//
+//	replace PASS:t:<*res>, SRC:<>, RES:<r, *rest>
+//	by SRC:<>, RES:<r, *rest>
+func GwGc() *hocl.Rule {
+	return hocl.MustParseRuleBody(RuleGwGc,
+		`replace PASS:t:<*res>, SRC:<>, RES:<r, *rest> by SRC:<>, RES:<r, *rest>`, nil)
+}
+
 // PassMessage builds the molecule carried by a result transfer from task
 // src: PASS:src:<res...>. The carried solution is marked inert at build
 // time: the results come out of the sender's already-reduced RES solution

@@ -1,0 +1,63 @@
+package hoclflow
+
+import (
+	"ginflow/internal/hocl"
+)
+
+// This file carries the two headers of the exactly-once hardening
+// (DESIGN.md "Fault model & chaos harness"):
+//
+//   - SEQ:origin:n prefixes every direct agent-to-agent message. The
+//     receiver remembers each ingested (origin, n, payload fingerprint)
+//     triple and suppresses repeats, so a duplicated or redelivered
+//     message is applied exactly once even though transport is merely
+//     at-least-once.
+//   - VER:task:incarnation:push prefixes every status push to the
+//     space. The space records each task's highest (incarnation, push)
+//     pair and drops payloads that do not advance it, so a delayed or
+//     redelivered status push can never roll a task's recorded state
+//     back.
+
+// SeqMarker builds the SEQ:origin:n sequence header an agent prefixes
+// to its n-th message toward one destination.
+func SeqMarker(origin string, n int64) hocl.Atom {
+	return hocl.Tuple{KeySEQ, hocl.Ident(origin), hocl.Int(n)}
+}
+
+// DecodeSeq reports whether a is a SEQ header and, if so, returns its
+// origin task and sequence number.
+func DecodeSeq(a hocl.Atom) (origin string, n int64, ok bool) {
+	tp, isTuple := a.(hocl.Tuple)
+	if !isTuple || len(tp) != 3 || !tp[0].Equal(KeySEQ) {
+		return "", 0, false
+	}
+	name, okName := tp[1].(hocl.Ident)
+	num, okNum := tp[2].(hocl.Int)
+	if !okName || !okNum {
+		return "", 0, false
+	}
+	return string(name), int64(num), true
+}
+
+// VersionMarker builds the VER:task:incarnation:push header the status
+// encoder prefixes to each space payload.
+func VersionMarker(task string, incarnation, push int64) hocl.Atom {
+	return hocl.Tuple{KeyVER, hocl.Ident(task), hocl.Int(incarnation), hocl.Int(push)}
+}
+
+// DecodeVersion reports whether a is a VER header and, if so, returns
+// the task, its agent incarnation, and the push counter within that
+// incarnation.
+func DecodeVersion(a hocl.Atom) (task string, incarnation, push int64, ok bool) {
+	tp, isTuple := a.(hocl.Tuple)
+	if !isTuple || len(tp) != 4 || !tp[0].Equal(KeyVER) {
+		return "", 0, 0, false
+	}
+	name, okName := tp[1].(hocl.Ident)
+	inc, okInc := tp[2].(hocl.Int)
+	push2, okPush := tp[3].(hocl.Int)
+	if !okName || !okInc || !okPush {
+		return "", 0, 0, false
+	}
+	return string(name), int64(inc), int64(push2), true
+}

@@ -128,17 +128,26 @@ func DecodeStatusDelta(a hocl.Atom) (StatusDelta, bool) {
 type StatusEncoder struct {
 	// Task names the task whose status this encoder publishes.
 	Task string
+	// Incarnation is the publishing agent's incarnation, stamped into
+	// every payload's VER header so the space can order pushes across a
+	// respawn.
+	Incarnation int
 
 	pushed bool
 	fp     uint64
 	hashes []uint64 // per-atom hashes of the last pushed state
+
+	// push counts emitted payloads within this incarnation. It is
+	// monotone across Reset — a resync re-push must still outrank the
+	// pushes before it, or the space would drop it as stale.
+	push int64
 
 	cur    []uint64       // scratch: hashes of the current state
 	counts map[uint64]int // scratch: multiset diff working set
 }
 
 // Encode returns the wire payload for the task's current stripped status
-// atoms — a one-atom slice holding either the full Name:<...> snapshot
+// atoms — a VER header followed by either the full Name:<...> snapshot
 // tuple or a STATDELTA tuple — or nil when the state is unchanged since
 // the last push. Atoms shipped in the payload are snapshotted (frozen);
 // the caller keeps ownership of the input slice.
@@ -193,7 +202,7 @@ func (e *StatusEncoder) Encode(atoms []hocl.Atom, inert bool) []hocl.Atom {
 		RemovedHashes: removed, Added: added, Inert: inert,
 	}
 	e.remember(cur, fp)
-	return []hocl.Atom{d.Atom()}
+	return e.payload(d.Atom())
 }
 
 // full builds the classic full-snapshot payload and records the state.
@@ -201,7 +210,13 @@ func (e *StatusEncoder) full(atoms []hocl.Atom, cur []uint64, fp uint64, inert b
 	sub := hocl.NewSolution(hocl.SnapshotAtoms(atoms)...)
 	sub.SetInert(inert)
 	e.remember(cur, fp)
-	return []hocl.Atom{hocl.Tuple{hocl.Ident(e.Task), sub}}
+	return e.payload(hocl.Tuple{hocl.Ident(e.Task), sub})
+}
+
+// payload stamps the next VER header ahead of the status body.
+func (e *StatusEncoder) payload(body hocl.Atom) []hocl.Atom {
+	e.push++
+	return []hocl.Atom{VersionMarker(e.Task, int64(e.Incarnation), e.push), body}
 }
 
 func (e *StatusEncoder) remember(cur []uint64, fp uint64) {
@@ -213,7 +228,9 @@ func (e *StatusEncoder) remember(cur []uint64, fp uint64) {
 }
 
 // Reset forgets the recorded state: the next Encode emits a full
-// snapshot, as a fresh agent incarnation must.
+// snapshot, as a fresh agent incarnation must. The push counter is NOT
+// reset — it stays monotone within the incarnation, so the re-push
+// after a resync outranks everything emitted before it.
 func (e *StatusEncoder) Reset() {
 	e.pushed = false
 	e.fp = 0

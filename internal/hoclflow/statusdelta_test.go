@@ -58,14 +58,25 @@ func TestDecodeStatusDeltaRejectsOtherAtoms(t *testing.T) {
 	}
 }
 
+// body strips and validates the VER header every encoder payload leads
+// with, returning the status body atom.
+func body(t *testing.T, e *StatusEncoder, payload []hocl.Atom) hocl.Atom {
+	t.Helper()
+	if len(payload) != 2 {
+		t.Fatalf("payload = %v, want [VER header, body]", payload)
+	}
+	task, inc, push, ok := DecodeVersion(payload[0])
+	if !ok || task != e.Task || inc != int64(e.Incarnation) || push <= 0 {
+		t.Fatalf("payload header %v does not version task %s", payload[0], e.Task)
+	}
+	return payload[1]
+}
+
 func TestStatusEncoderFirstPushIsFullSnapshot(t *testing.T) {
 	e := &StatusEncoder{Task: "T3"}
 	atoms := statusAtoms()
 	payload := e.Encode(atoms, false)
-	if len(payload) != 1 {
-		t.Fatalf("payload = %v", payload)
-	}
-	tp, ok := payload[0].(hocl.Tuple)
+	tp, ok := body(t, e, payload).(hocl.Tuple)
 	if !ok || len(tp) != 2 || !tp[0].Equal(hocl.Ident("T3")) {
 		t.Fatalf("first push is not a full snapshot tuple: %v", payload[0])
 	}
@@ -89,12 +100,9 @@ func TestStatusEncoderEmitsDeltaForSmallChange(t *testing.T) {
 	newRES := hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("out"))}
 	atoms[3] = newRES
 	payload := e.Encode(atoms, true)
-	if len(payload) != 1 {
-		t.Fatalf("payload = %v", payload)
-	}
-	d, ok := DecodeStatusDelta(payload[0])
+	d, ok := DecodeStatusDelta(body(t, e, payload))
 	if !ok {
-		t.Fatalf("change did not encode as delta: %v", payload[0])
+		t.Fatalf("change did not encode as delta: %v", payload)
 	}
 	if len(d.RemovedHashes) != 1 || d.RemovedHashes[0] != hocl.AtomHash(oldRES) {
 		t.Errorf("removed = %v, want hash of %v", d.RemovedHashes, oldRES)
@@ -120,15 +128,13 @@ func TestStatusEncoderFallsBackToFullOnLargeChange(t *testing.T) {
 		hocl.Tuple{KeyIN, hocl.NewSolution(hocl.Str("b"))},
 	}
 	payload := e.Encode(replaced, false)
-	if len(payload) != 1 {
-		t.Fatalf("payload = %v", payload)
-	}
-	if _, ok := DecodeStatusDelta(payload[0]); ok {
+	b := body(t, e, payload)
+	if _, ok := DecodeStatusDelta(b); ok {
 		t.Fatal("full-rewrite state encoded as delta")
 	}
-	tp, ok := payload[0].(hocl.Tuple)
+	tp, ok := b.(hocl.Tuple)
 	if !ok || len(tp) != 2 {
-		t.Fatalf("fallback is not a full snapshot: %v", payload[0])
+		t.Fatalf("fallback is not a full snapshot: %v", b)
 	}
 }
 
@@ -137,15 +143,12 @@ func TestStatusEncoderResetForcesFullSnapshot(t *testing.T) {
 	atoms := statusAtoms()
 	e.Encode(atoms, false)
 	atoms[3] = hocl.Tuple{KeyRES, hocl.NewSolution(hocl.Str("out"))}
-	if _, ok := DecodeStatusDelta(e.Encode(atoms, false)[0]); !ok {
+	if _, ok := DecodeStatusDelta(body(t, e, e.Encode(atoms, false))); !ok {
 		t.Fatal("expected a delta before Reset")
 	}
 	e.Reset()
 	payload := e.Encode(atoms, false)
-	if len(payload) != 1 {
-		t.Fatalf("payload = %v", payload)
-	}
-	if _, ok := DecodeStatusDelta(payload[0]); ok {
+	if _, ok := DecodeStatusDelta(body(t, e, payload)); ok {
 		t.Error("post-Reset push is a delta, want full snapshot")
 	}
 }
@@ -160,7 +163,7 @@ func TestStatusEncoderSnapshotsAddedAtoms(t *testing.T) {
 	live := hocl.NewSolution(hocl.Str("out"))
 	atoms[3] = hocl.Tuple{KeyRES, live}
 	payload := e.Encode(atoms, false)
-	d, ok := DecodeStatusDelta(payload[0])
+	d, ok := DecodeStatusDelta(body(t, e, payload))
 	if !ok {
 		t.Fatal("expected delta")
 	}

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 )
 
@@ -51,6 +53,11 @@ const (
 	recStatus byte = 3
 	// recDone marks the session finished: Recover must not resume it.
 	recDone byte = 4
+	// recInbox carries one direct-topic inbox message (topic + payload
+	// atoms): the replay source that survives log-broker loss across a
+	// double crash (crash, recover, crash again before the agents drained
+	// their logs).
+	recInbox byte = 5
 )
 
 // frameOverhead is the fixed per-record framing cost: a uint32 length,
@@ -86,6 +93,15 @@ type Config struct {
 	// dropped, leaving the on-disk state exactly as a kill at that
 	// instant would. 0 disables the hook.
 	CrashAfterRecords int64
+
+	// Chaos, when non-nil, injects write faults (transient errors, torn
+	// half-writes, slow fsync) drawn from the schedule's journal
+	// boundaries. Torn and errored writes are retried after repairing the
+	// file tail, up to Retry's budget.
+	Chaos *failure.Schedule
+	// Retry bounds the write retry loop under Chaos (zero value takes the
+	// failure package defaults).
+	Retry failure.RetryConfig
 }
 
 // Enabled reports whether the config selects a journal directory.
@@ -197,8 +213,11 @@ func (j *Journal) CreateSession(meta SessionMeta) (*SessionWriter, error) {
 // ResumeSession reopens an unfinished session for write-through after
 // recovery: the recovered state is checkpointed into a fresh segment
 // (whose workflow record re-persists meta) and the superseded segments
-// are pruned. snapshot must be the molecule list of the rebuilt space.
-func (j *Journal) ResumeSession(meta SessionMeta, snapshot []hocl.Atom) (*SessionWriter, error) {
+// are pruned. snapshot must be the molecule list of the rebuilt space;
+// inbox is the direct-message history read back from the old segments,
+// re-journaled into the fresh head so a second crash can still replay
+// it.
+func (j *Journal) ResumeSession(meta SessionMeta, snapshot []hocl.Atom, inbox []InboxRecord) (*SessionWriter, error) {
 	dir := j.sessionDir(meta.ID)
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -207,6 +226,9 @@ func (j *Journal) ResumeSession(meta SessionMeta, snapshot []hocl.Atom) (*Sessio
 	w := &SessionWriter{cfg: j.cfg, dir: dir, meta: meta}
 	if n := len(segs); n > 0 {
 		w.segIndex = segs[n-1].index
+	}
+	if len(inbox) > 0 {
+		w.inboxSource = func() []InboxRecord { return inbox }
 	}
 	if err := w.rotate(snapshot); err != nil {
 		return nil, err
@@ -233,6 +255,21 @@ type SessionWriter struct {
 	scratch      []byte // frame assembly buffer, reused per record
 	enc          []byte // atom-encoding buffer, reused per record
 	statusFrames int64
+	// inboxSource, when set, supplies the session's full direct-message
+	// history at rotation time so each new segment carries the complete
+	// inbox replay stream (older segments are pruned).
+	inboxSource func() []InboxRecord
+}
+
+// InboxRecord is one journaled direct-topic message: the agent inbox
+// traffic a recovered session must replay so resumed agents re-observe
+// the PASS/ADAPT messages their crashed incarnations consumed from the
+// log broker.
+type InboxRecord struct {
+	// Topic is the direct topic the message was published on.
+	Topic string
+	// Atoms is the frozen message payload.
+	Atoms []hocl.Atom
 }
 
 // segmentName renders the file name of segment n.
@@ -292,7 +329,10 @@ func (w *SessionWriter) StatusRecords() int64 {
 	return w.statusFrames
 }
 
-// appendFrame writes one framed record; callers hold w.mu.
+// appendFrame writes one framed record; callers hold w.mu. Under chaos,
+// failed or torn writes are repaired (the file is truncated back to the
+// last durable frame boundary) and retried with backoff until the retry
+// budget is spent.
 func (w *SessionWriter) appendFrame(typ byte, payload []byte) error {
 	if w.closed || w.crashTripped() {
 		return nil
@@ -306,12 +346,58 @@ func (w *SessionWriter) appendFrame(typ byte, payload []byte) error {
 	buf = append(buf, payload...)
 	buf = binary.LittleEndian.AppendUint64(buf, frameFingerprint(typ, payload))
 	w.scratch = buf
-	if _, err := w.f.Write(buf); err != nil {
-		return fmt.Errorf("journal: session %d: %w", w.meta.ID, err)
+	rc := w.cfg.Retry.WithDefaults()
+	for attempt := 1; ; attempt++ {
+		n, err := w.writeFrame(buf)
+		if err == nil {
+			w.size += int64(len(buf))
+			w.records++
+			return nil
+		}
+		// A partial write — injected torn frame or a real short write —
+		// leaves garbage past the last frame boundary; cut it off so the
+		// retry (and any post-crash read) starts clean.
+		if n > 0 {
+			if rerr := w.repairTail(); rerr != nil {
+				return fmt.Errorf("journal: session %d: tail repair after %v: %w",
+					w.meta.ID, err, rerr)
+			}
+		}
+		if attempt >= rc.MaxAttempts {
+			return fmt.Errorf("journal: session %d: write after %d attempts: %w (%w)",
+				w.meta.ID, attempt, failure.ErrRetriesExhausted, err)
+		}
+		w.cfg.Chaos.Sleep(rc.Delay(attempt))
 	}
-	w.size += int64(len(buf))
-	w.records++
-	return nil
+}
+
+// writeFrame performs the raw segment write for one frame, consulting
+// the chaos schedule first: an injected error skips the write entirely,
+// an injected torn write persists only half the frame before failing.
+// Callers hold w.mu.
+func (w *SessionWriter) writeFrame(buf []byte) (int, error) {
+	if f := w.cfg.Chaos.Draw(failure.BoundaryJournalWrite); f.Kind != failure.FaultNone {
+		switch f.Kind {
+		case failure.FaultError:
+			return 0, f.Err
+		case failure.FaultTorn:
+			n, _ := w.f.Write(buf[:len(buf)/2])
+			return n, f.Err
+		}
+	}
+	return w.f.Write(buf)
+}
+
+// repairTail truncates the segment back to the last durable frame
+// boundary (w.size) after a partial write, repositioning the file
+// offset to match; callers hold w.mu. The segment is opened without
+// O_APPEND precisely so this seek is honoured.
+func (w *SessionWriter) repairTail() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(w.size, io.SeekStart)
+	return err
 }
 
 // frameFingerprint hashes a record's type and payload for the frame
@@ -341,6 +427,47 @@ func (w *SessionWriter) AppendStatus(atoms []hocl.Atom) error {
 	w.sinceSnap++
 	w.statusFrames++
 	return nil
+}
+
+// AppendInbox journals one direct-topic message — the write-ahead copy
+// of an agent inbox delivery. Like AppendStatus it reuses the writer's
+// buffers; the atoms must be frozen broker payloads.
+func (w *SessionWriter) AppendInbox(topic string, atoms []hocl.Atom) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.enc = appendInboxPayload(w.enc[:0], topic, atoms)
+	return w.appendFrame(recInbox, w.enc)
+}
+
+// SetInboxSource installs the callback rotation uses to rewrite the
+// session's full inbox history into each new segment head. Pass nil to
+// stop carrying inbox records forward.
+func (w *SessionWriter) SetInboxSource(fn func() []InboxRecord) {
+	w.mu.Lock()
+	w.inboxSource = fn
+	w.mu.Unlock()
+}
+
+// appendInboxPayload encodes one inbox record: uvarint topic length,
+// topic bytes, then the encoded atom list.
+func appendInboxPayload(dst []byte, topic string, atoms []hocl.Atom) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(topic)))
+	dst = append(dst, topic...)
+	return hocl.AppendAtoms(dst, atoms)
+}
+
+// decodeInboxPayload is the inverse of appendInboxPayload.
+func decodeInboxPayload(payload []byte) (InboxRecord, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 || uint64(len(payload)-used) < n {
+		return InboxRecord{}, fmt.Errorf("journal: inbox record: bad topic length")
+	}
+	topic := string(payload[used : used+int(n)])
+	atoms, err := hocl.DecodeAtoms(payload[used+int(n):])
+	if err != nil {
+		return InboxRecord{}, fmt.Errorf("journal: inbox record: %w", err)
+	}
+	return InboxRecord{Topic: topic, Atoms: atoms}, nil
 }
 
 // ShouldCheckpoint reports whether enough status records have
@@ -404,6 +531,16 @@ func (w *SessionWriter) rotateLocked(snapshot []hocl.Atom) error {
 	if err := w.appendFrame(recSnapshot, hocl.EncodeAtoms(snapshot)); err != nil {
 		return err
 	}
+	// Older segments are about to be pruned: rewrite the full inbox
+	// history into the new head so direct-message replay stays complete.
+	if w.inboxSource != nil {
+		for _, rec := range w.inboxSource() {
+			w.enc = appendInboxPayload(w.enc[:0], rec.Topic, rec.Atoms)
+			if err := w.appendFrame(recInbox, w.enc); err != nil {
+				return err
+			}
+		}
+	}
 	if err := w.maybeSync(); err != nil {
 		return err
 	}
@@ -425,6 +562,9 @@ func (w *SessionWriter) rotateLocked(snapshot []hocl.Atom) error {
 }
 
 func (w *SessionWriter) maybeSync() error {
+	if f := w.cfg.Chaos.Draw(failure.BoundaryJournalSync); f.Kind == failure.FaultSlow {
+		w.cfg.Chaos.Sleep(f.Delay)
+	}
 	if !w.cfg.Sync || w.f == nil {
 		return nil
 	}

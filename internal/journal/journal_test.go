@@ -345,7 +345,7 @@ func TestJournalResumeRotatesAndPrunes(t *testing.T) {
 	w.Close()
 
 	snap := statusPayload("T1", 2)
-	w2, err := j.ResumeSession(testMeta(5), snap)
+	w2, err := j.ResumeSession(testMeta(5), snap, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,12 @@ type SessionState struct {
 	// apply path live status pushes take) rebuilds the session's
 	// observable state.
 	Payloads [][]hocl.Atom
+	// Inbox is the direct-topic message history journaled for the
+	// session, in publish order: recovery restores it into the log
+	// broker so resumed agents replay their pre-crash inbox traffic.
+	// Unlike Payloads it is NOT cut at snapshots — rotation rewrites the
+	// full history into each segment head.
+	Inbox []InboxRecord
 	// TornBytes counts the bytes of torn tail ignored at the end of the
 	// newest segment (0 when the segment ends on a frame boundary).
 	TornBytes int64
@@ -125,6 +131,12 @@ func readSegment(path string) (*SessionState, error) {
 			}
 			st.Payloads = append(st.Payloads, atoms)
 			st.StatusRecords++
+		case recInbox:
+			rec, err := decodeInboxPayload(payload)
+			if err != nil {
+				return nil, fmt.Errorf("journal: %s: %w", path, err)
+			}
+			st.Inbox = append(st.Inbox, rec)
 		case recDone:
 			st.Done = true
 		default:
@@ -141,6 +153,7 @@ func readSegment(path string) (*SessionState, error) {
 		// but ReadSession prefers an intact predecessor segment.
 		st.Payloads = nil
 		st.StatusRecords = 0
+		st.Inbox = nil
 		st.headTorn = true
 	}
 	return st, nil

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"ginflow/internal/cluster"
+	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 )
 
@@ -213,6 +214,11 @@ type common struct {
 
 	shards []*shard
 
+	// chaos, when set, perturbs delivery fan-out per (message,
+	// subscriber): drop with bounded redelivery, duplicate, delay,
+	// reorder. Atomic so installation needs no delivery-path lock.
+	chaos atomic.Pointer[failure.Schedule]
+
 	mu     sync.RWMutex
 	closed bool
 
@@ -284,6 +290,18 @@ func (s *subscriber) enqueue(tm timedMsg) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+}
+
+// swapTail swaps the two newest pending deliveries — the chaos
+// schedule's within-batch reorder. Only the messages swap; the due
+// instants stay in place, so the due sequence the drain loop relies on
+// remains monotone while the delivery order genuinely changes.
+func (s *subscriber) swapTail() {
+	s.mu.Lock()
+	if n := len(s.queue); n >= 2 {
+		s.queue[n-1].msg, s.queue[n-2].msg = s.queue[n-2].msg, s.queue[n-1].msg
+	}
+	s.mu.Unlock()
 }
 
 // drain moves pending messages to the consumer in due-order batches: it
@@ -463,9 +481,14 @@ func (c *common) deliver(msg Message) {
 	sh.qmu.Unlock()
 
 	tm := timedMsg{msg: msg, due: due}
+	ch := c.chaos.Load()
 	sh.mu.RLock()
 	for _, sub := range sh.subs[msg.Topic] {
-		sub.enqueue(tm)
+		if ch == nil {
+			sub.enqueue(tm)
+			continue
+		}
+		c.chaosEnqueue(ch, sub, tm, scale, 0)
 	}
 	sh.mu.RUnlock()
 }
@@ -663,6 +686,11 @@ type logShard struct {
 type LogBroker struct {
 	*common
 	logShards []*logShard
+
+	// observer, when set, sees every accepted publish — the journal's
+	// inbox write-through point (DESIGN.md "Fault model & chaos
+	// harness").
+	observer atomic.Pointer[func(Message)]
 }
 
 // DefaultLogLatency is the modelled per-message latency of the log
@@ -716,8 +744,44 @@ func (b *LogBroker) append(msg Message) error {
 	msg.Offset = len(ls.logs[msg.Topic])
 	ls.logs[msg.Topic] = append(ls.logs[msg.Topic], msg)
 	ls.mu.Unlock()
+	// The observer runs outside the log-shard lock (it may take locks of
+	// its own, e.g. the journal writer's) and before delivery, so a
+	// journaled message is durable before any consumer can act on it.
+	if obs := b.observer.Load(); obs != nil {
+		(*obs)(msg)
+	}
 	b.deliver(msg)
 	return nil
+}
+
+// SetPublishObserver registers fn, invoked synchronously for every
+// accepted publish, after the message is appended to the log and before
+// it is delivered. One observer at a time; install it before traffic
+// flows. The Manager uses it to journal agent inboxes write-through.
+func (b *LogBroker) SetPublishObserver(fn func(Message)) {
+	if fn == nil {
+		b.observer.Store(nil)
+		return
+	}
+	b.observer.Store(&fn)
+}
+
+// RestoreLog replaces a topic's retained log with msgs, renumbering
+// offsets. Crash recovery uses it to re-seed a fresh process's broker
+// with the journaled inbox history, so an agent that crashes again
+// after resume still replays its pre-crash messages. Nothing is
+// delivered; only the replay history changes.
+func (b *LogBroker) RestoreLog(topic string, msgs []Message) {
+	log := make([]Message, len(msgs))
+	for i, m := range msgs {
+		m.Topic = topic
+		m.Offset = i
+		log[i] = m
+	}
+	ls := b.logShards[b.shardIndex(topic)]
+	ls.mu.Lock()
+	ls.logs[topic] = log
+	ls.mu.Unlock()
 }
 
 // Topics lists topics under prefix holding subscriber, counter or log

@@ -49,8 +49,8 @@ func TestSpaceAppliesDelta(t *testing.T) {
 		hocl.Tuple{hoclflow.KeyRES, hocl.NewSolution(hocl.Str("out"))},
 	}
 	payload := enc.Encode(state2, true)
-	if _, ok := hoclflow.DecodeStatusDelta(payload[0]); !ok {
-		t.Fatalf("expected delta payload, got %v", payload[0])
+	if _, ok := hoclflow.DecodeStatusDelta(payload[1]); !ok {
+		t.Fatalf("expected delta payload, got %v", payload[1])
 	}
 	applyPayload(s, payload)
 
@@ -129,7 +129,7 @@ func TestSpaceDeltaDoesNotMutateSharedSnapshot(t *testing.T) {
 		hocl.Tuple{hoclflow.KeyRES, hocl.NewSolution()},
 	}
 	full := enc.Encode(state1, false)
-	shared := full[0].(hocl.Tuple)[1].(*hocl.Solution)
+	shared := full[1].(hocl.Tuple)[1].(*hocl.Solution)
 	before := shared.String()
 
 	s := New()
@@ -141,8 +141,8 @@ func TestSpaceDeltaDoesNotMutateSharedSnapshot(t *testing.T) {
 		hocl.Tuple{hoclflow.KeyRES, hocl.NewSolution(hocl.Str("out"))},
 	}
 	delta := enc.Encode(state2, true)
-	if _, ok := hoclflow.DecodeStatusDelta(delta[0]); !ok {
-		t.Fatalf("expected delta payload, got %v", delta[0])
+	if _, ok := hoclflow.DecodeStatusDelta(delta[1]); !ok {
+		t.Fatalf("expected delta payload, got %v", delta[1])
 	}
 	applyPayload(s, delta)
 

@@ -82,6 +82,13 @@ type Space struct {
 	deltasApplied  int64
 	deltaFallbacks int64
 
+	// versions records, per task, the highest (incarnation, push) VER
+	// header folded in; a payload that does not advance it is stale —
+	// a delayed or redelivered push — and is dropped whole, so chaos on
+	// the status topic can never roll a task's recorded state back.
+	versions   map[string]taskVersion
+	staleDrops int64
+
 	// resync, when set, is invoked (outside the lock) with the name of a
 	// task whose delta-encoded status push failed to anchor: the space
 	// asks the agent for an immediate full push instead of staying stale
@@ -95,13 +102,43 @@ type Space struct {
 	sub *mq.Subscription
 }
 
+// taskVersion orders one task's status pushes: incarnations dominate,
+// push counters break ties within an incarnation.
+type taskVersion struct {
+	inc, push int64
+}
+
+// before reports whether v precedes (or equals) w lexicographically.
+func (v taskVersion) before(w taskVersion) bool {
+	return v.inc < w.inc || (v.inc == w.inc && v.push <= w.push)
+}
+
 // New returns an empty space.
 func New() *Space {
 	return &Space{
 		tasks:         map[string]*taskState{},
 		changed:       make(chan struct{}),
 		resyncPending: map[string]bool{},
+		versions:      map[string]taskVersion{},
 	}
+}
+
+// ResetVersions forgets the per-task version gate. Crash recovery calls
+// it after replaying journaled status history: the resumed process's
+// agents restart at incarnation 0, and their fresh pushes must not be
+// mistaken for stale ones.
+func (s *Space) ResetVersions() {
+	s.mu.Lock()
+	s.versions = map[string]taskVersion{}
+	s.mu.Unlock()
+}
+
+// StaleDrops reports how many versioned status payloads were dropped as
+// stale (delayed or redelivered pushes overtaken by a newer one).
+func (s *Space) StaleDrops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.staleDrops
 }
 
 // SetResyncRequester installs the space-to-agent resync channel: fn is
@@ -510,6 +547,18 @@ func (s *Space) Apply(payload string) bool {
 // is incremented per folded-in update (refused deltas do not count).
 func (s *Space) applyAtomsLocked(atoms []hocl.Atom, applied *int64) {
 	for _, a := range atoms {
+		if task, inc, push, ok := hoclflow.DecodeVersion(a); ok {
+			// The VER header gates the remainder of its payload: a
+			// version that does not advance the task's recorded one is a
+			// delayed or redelivered push, dropped whole.
+			v := taskVersion{inc: inc, push: push}
+			if prev, seen := s.versions[task]; seen && v.before(prev) {
+				s.staleDrops++
+				return
+			}
+			s.versions[task] = v
+			continue
+		}
 		if d, ok := hoclflow.DecodeStatusDelta(a); ok {
 			if s.applyDeltaLocked(&d) {
 				*applied++
@@ -525,9 +574,25 @@ func (s *Space) applyAtomsLocked(atoms []hocl.Atom, applied *int64) {
 				}
 			}
 		}
+		if s.hasMarkerLocked(a) {
+			// Markers are idempotent facts (TRIGGER:"id", ...): a
+			// duplicated delivery must not grow the marker multiset, or
+			// fingerprints would diverge across chaotic runs.
+			continue
+		}
 		s.markers = append(s.markers, a)
 		*applied++
 	}
+}
+
+// hasMarkerLocked reports whether an equal marker is already recorded.
+func (s *Space) hasMarkerLocked(a hocl.Atom) bool {
+	for _, m := range s.markers {
+		if m.Equal(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // applyDeltaLocked folds one delta into the task's recorded state,

@@ -30,6 +30,19 @@ const (
 	// SessionRecovered marks a whole session resumed from its journal by
 	// a fresh Manager process (DESIGN.md "Durability & recovery").
 	SessionRecovered Kind = "session-recovered"
+	// ServiceFaulted marks a transient injected invocation fault (chaos
+	// harness); the agent retries with backoff.
+	ServiceFaulted Kind = "service-faulted"
+	// MessageDeduped marks a duplicated delivery suppressed by the inbox
+	// sequence protocol (exactly-once ingestion).
+	MessageDeduped Kind = "message-deduped"
+	// AgentEscalated marks an agent abandoned after its transient-fault
+	// retry budget ran out: the session fails with the cause chain
+	// instead of stalling.
+	AgentEscalated Kind = "agent-escalated"
+	// EventsDropped summarises events lost on the lossy live-event
+	// stream (slow consumer backpressure), recorded once per session.
+	EventsDropped Kind = "events-dropped"
 )
 
 // Event is one timeline entry.

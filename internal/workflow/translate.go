@@ -165,8 +165,8 @@ func (d *Definition) TranslateCentral() (*CentralProgram, error) {
 
 // TranslateAgents produces one AgentSpec per deployable task (main and
 // replacement) for decentralised execution: local solutions carry the
-// decentralised generic rules (gw_setup, gw_call, gw_send, gw_recv) plus
-// the adaptation rules for the roles the task plays.
+// decentralised generic rules (gw_setup, gw_call, gw_send, gw_recv,
+// gw_gc) plus the adaptation rules for the roles the task plays.
 func (d *Definition) TranslateAgents() ([]AgentSpec, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -179,7 +179,7 @@ func (d *Definition) TranslateAgents() ([]AgentSpec, error) {
 	for _, attrs := range d.taskAttrs() {
 		rules := []*hocl.Rule{
 			hoclflow.GwSetup(), hoclflow.GwCall(),
-			hoclflow.GwSend(), hoclflow.GwRecv(),
+			hoclflow.GwSend(), hoclflow.GwRecv(), hoclflow.GwGc(),
 		}
 		spec := AgentSpec{Task: attrs, Funcs: map[string]hocl.Func{}}
 		if rp := roles[attrs.Name]; rp != nil {
