@@ -1,0 +1,102 @@
+// Command ginflow-node is a GinFlow worker process: it joins a
+// manager's transport listener (ginflow -listen, or the WithListener
+// API option) and hosts service agents for the sessions the manager
+// assigns to it — the multi-machine deployment shape of the paper's
+// engine, with the service agents running out-of-process from the
+// manager and cooperating through its broker over TCP.
+//
+// Service implementations cannot travel over the wire, so the worker
+// registers locally what its assigned tasks will need: -services lists
+// simulated no-op services (of -task-duration model seconds each),
+// -fail marks services that raise execution exceptions (driving
+// declared adaptations), and -montage registers the built-in Montage
+// kernels. A session whose tasks reference a service missing here fails
+// at assignment time, before anything runs.
+//
+// The worker keeps serving until interrupted. A dropped connection is
+// not fatal: it reconnects under the same server-assigned identity and
+// the reliable link replays whatever either side missed.
+//
+// Examples:
+//
+//	ginflow-node -addr 127.0.0.1:7410 -services split,work,merge
+//	ginflow-node -addr manager:7410 -montage -name rack2-7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ginflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ginflow-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "", "manager transport address to join (required)")
+		name         = flag.String("name", "", "worker label shown to the manager (default the hostname)")
+		serviceList  = flag.String("services", "", "comma-separated simulated services this worker hosts")
+		taskDuration = flag.Float64("task-duration", 1.0, "simulated service duration (model seconds)")
+		fail         = flag.String("fail", "", "comma-separated services that raise execution exceptions")
+		montage      = flag.Bool("montage", false, "register the built-in Montage kernels (§V-D)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		return fmt.Errorf("-addr is required (the manager's -listen address)")
+	}
+	if *name == "" {
+		if h, err := os.Hostname(); err == nil {
+			*name = h
+		}
+	}
+
+	services := ginflow.NewServiceRegistry()
+	if *montage {
+		ginflow.RegisterMontageServices(services)
+	}
+	failing := map[string]bool{}
+	for _, s := range strings.Split(*fail, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			failing[s] = true
+		}
+	}
+	registered := 0
+	for _, s := range strings.Split(*serviceList+","+*fail, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if failing[s] {
+			services.RegisterFailing(s, *taskDuration)
+		} else {
+			services.RegisterNoop(*taskDuration, s)
+		}
+		registered++
+	}
+	if registered == 0 && !*montage {
+		return fmt.Errorf("no services registered (use -services, -fail or -montage)")
+	}
+
+	w, err := ginflow.JoinCluster(*addr, services)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Printf("ginflow-node: joined %s as node %d (%s)\n", *addr, w.NodeID(), *name)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("ginflow-node: shutting down")
+	return nil
+}

@@ -75,6 +75,9 @@ func run() error {
 		journalDir = flag.String("journal", "", "journal directory: sessions become durable and crash-resumable")
 		resume     = flag.Bool("resume", false, "recover and finish the unfinished sessions in -journal instead of submitting")
 
+		listen  = flag.String("listen", "", "transport listener address (e.g. :7410): ginflow-node workers join and host the agents out-of-process")
+		workers = flag.Int("workers", 1, "with -listen, wait for this many workers to join before submitting")
+
 		verbose   = flag.Bool("v", false, "print per-task statuses")
 		showTrace = flag.Bool("trace", false, "print the enactment timeline")
 		dumpDOT   = flag.Bool("dot", false, "print the workflow as Graphviz DOT and exit")
@@ -124,6 +127,11 @@ func run() error {
 		CollectTrace: *showTrace,
 	}
 	cfg.Journal.Dir = *journalDir
+	cfg.Listen = *listen
+
+	if *listen != "" && !*resume {
+		return runListen(os.Stdout, def, services, cfg, *workers, *parallel, *verbose)
+	}
 
 	if *resume {
 		if *journalDir == "" {
@@ -147,6 +155,48 @@ func run() error {
 		}
 	}
 	return err
+}
+
+// runListen builds a long-lived Manager hosting a transport listener,
+// prints the dial target for ginflow-node workers, waits for the asked
+// fleet size, then submits the workload: the agents run in the worker
+// processes, publishing and subscribing through this manager's broker
+// over TCP.
+func runListen(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, workers, n int, verbose bool) error {
+	mgr, err := ginflow.New(managerOptions(cfg)...)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	fmt.Fprintf(w, "listening on %s — join workers with: ginflow-node -addr %s -services ...\n",
+		mgr.ListenerAddr(), mgr.ListenerAddr())
+	for mgr.ConnectedNodes() < workers {
+		fmt.Fprintf(w, "waiting for workers: %d/%d joined\n", mgr.ConnectedNodes(), workers)
+		time.Sleep(time.Second)
+	}
+	fmt.Fprintf(w, "%d worker(s) joined\n", mgr.ConnectedNodes())
+
+	var firstErr error
+	for i := 0; i < n; i++ {
+		h, err := mgr.Submit(context.Background(), def, services)
+		if err != nil {
+			return err
+		}
+		rep, err := h.Wait(context.Background())
+		if err != nil {
+			fmt.Fprintf(w, "session %d: FAILED: %v\n", h.ID(), err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "session %d: %s\n", h.ID(), rep)
+		if verbose {
+			printReport(w, rep, true)
+		}
+	}
+	return firstErr
 }
 
 // runResume recovers every unfinished session the journal directory
@@ -202,6 +252,9 @@ func managerOptions(cfg ginflow.Config) []ginflow.Option {
 	}
 	if cfg.Journal.Dir != "" {
 		opts = append(opts, ginflow.WithJournal(cfg.Journal.Dir))
+	}
+	if cfg.Listen != "" {
+		opts = append(opts, ginflow.WithListener(cfg.Listen))
 	}
 	return opts
 }

@@ -60,6 +60,7 @@ import (
 	"ginflow/internal/mq"
 	"ginflow/internal/templates"
 	"ginflow/internal/trace"
+	"ginflow/internal/transport"
 	"ginflow/internal/workflow"
 )
 
@@ -257,6 +258,17 @@ func WithChaos(cc ChaosConfig) Option { return func(c *Config) { c.Chaos = cc } 
 // doubling).
 func WithRetry(rc RetryConfig) Option { return func(c *Config) { c.Retry = rc } }
 
+// WithListener starts a network transport listener on addr ("host:port";
+// ":0" picks a free port, resolved by Manager.ListenerAddr). Worker
+// processes — the ginflow-node binary, or any program calling
+// JoinCluster — connect to it over TCP, and sessions submitted while
+// workers are joined run their service agents out-of-process: the
+// workers' agents publish and subscribe through the Manager's broker
+// over the wire, so the engine's semantics (ordering barriers, inbox
+// replay recovery, adaptation) are unchanged. Requires a distributed
+// executor (ErrNoBroker otherwise).
+func WithListener(addr string) Option { return func(c *Config) { c.Listen = addr } }
+
 // WithJournal makes every distributed session durable: the submitted
 // workflow, periodic space snapshots and the status-push stream are
 // journaled under dir (one write-ahead segment log per session), and a
@@ -339,6 +351,17 @@ func (m *Manager) Events() <-chan SessionEvent { return m.inner.Events() }
 // consumers of Manager.Events.
 func (m *Manager) EventsDropped() int64 { return m.inner.EventsDropped() }
 
+// ListenerAddr returns the bound address of the WithListener transport
+// listener — the dial target for JoinCluster and ginflow-node, with a
+// ":0" listen address resolved to the picked port. Empty without
+// WithListener.
+func (m *Manager) ListenerAddr() string { return m.inner.ListenerAddr() }
+
+// ConnectedNodes reports how many worker processes have joined the
+// WithListener transport listener. Worker identities persist across
+// connection drops, so a briefly-partitioned worker still counts.
+func (m *Manager) ConnectedNodes() int { return m.inner.ConnectedNodes() }
+
 // Recover scans the journal directory (WithJournal) for sessions a
 // previous Manager process left unfinished — a crash, or a graceful
 // Close mid-run — rebuilds each one from its snapshot + delta log and
@@ -400,6 +423,39 @@ func (h *Handle) Events() <-chan Event { return h.s.Events() }
 // Events subscriber stopped draining — the observable cost of the lossy
 // delivery contract (also surfaced in Report.EventsDropped).
 func (h *Handle) EventsDropped() int64 { return h.s.EventsDropped() }
+
+// Worker is a joined worker process's handle: it hosts service agents
+// for sessions the Manager assigns to it, out-of-process, until Close.
+// The ginflow-node binary is a thin wrapper around JoinCluster; embed a
+// Worker directly to ship custom service implementations with the
+// process that registers them.
+type Worker struct {
+	n *transport.Node
+}
+
+// JoinCluster connects this process to a Manager's WithListener address
+// as a worker node. The registry supplies the service implementations
+// this worker can host — implementations cannot travel over the wire,
+// so every worker registers what its assigned tasks will need (a task
+// bound to a service missing here fails the session at assignment
+// time). The worker then serves assignments until Close: agents are
+// rebuilt locally from the workflow definition, supervised with crash
+// restarts and inbox replay, and their traffic bridges to the Manager's
+// broker over a reliable, reconnecting link.
+func JoinCluster(addr string, services *ServiceRegistry) (*Worker, error) {
+	n, err := transport.Join(addr, transport.NodeConfig{Services: services})
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{n: n}, nil
+}
+
+// NodeID returns the worker's server-assigned identity (stable across
+// reconnects).
+func (w *Worker) NodeID() uint64 { return w.n.NodeID() }
+
+// Close stops every session the worker hosts and disconnects it.
+func (w *Worker) Close() error { return w.n.Close() }
 
 // Run executes a workflow with the given services under the given
 // configuration and returns the run report: the single-shot

@@ -50,6 +50,13 @@ type Config struct {
 	BrokerShards int
 	// Cluster sizes the simulated platform.
 	Cluster cluster.Config
+	// Listen, when non-empty, starts a network transport listener on
+	// the given "host:port" address (":0" picks a free port; see
+	// Manager.ListenerAddr). Worker processes (cmd/ginflow-node) join
+	// it over TCP and sessions submitted while workers are connected
+	// run their agents out-of-process. Requires a distributed executor:
+	// the centralized manager has no broker for the listener to front.
+	Listen string
 	// SSH / Mesos / EC2 tune the executors (zero values take defaults).
 	SSH   executor.SSH
 	Mesos executor.Mesos

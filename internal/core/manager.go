@@ -14,6 +14,7 @@ import (
 	"ginflow/internal/journal"
 	"ginflow/internal/mq"
 	"ginflow/internal/trace"
+	"ginflow/internal/transport"
 	"ginflow/internal/workflow"
 )
 
@@ -54,7 +55,11 @@ type Manager struct {
 	broker  mq.Broker
 	exec    executor.Executor // nil for the centralized executor
 	journal *journal.Journal  // nil without Config.Journal.Dir
-	events  *hub[SessionEvent]
+	// server is the network transport listener fronting the shared
+	// broker (nil without Config.Listen): worker processes join it and
+	// host sessions' agents out-of-process.
+	server *transport.Server
+	events *hub[SessionEvent]
 	// chaos is the manager-wide deterministic fault schedule (nil when
 	// Config.Chaos is disabled); it is shared by the broker, the journal
 	// writers and every session's agents so one seed replays one run.
@@ -115,6 +120,16 @@ func NewManager(cfg Config) (*Manager, error) {
 			}
 		}
 	}
+	if cfg.Listen != "" {
+		if m.broker == nil {
+			return nil, fmt.Errorf("core: Listen %q: %w", cfg.Listen, ErrNoBroker)
+		}
+		srv, err := transport.Listen(cfg.Listen, transport.ServerConfig{Broker: m.broker, Chaos: chaos})
+		if err != nil {
+			return nil, err
+		}
+		m.server = srv
+	}
 	if cfg.Journal.Enabled() {
 		j, err := journal.Open(cfg.Journal)
 		if err != nil {
@@ -171,6 +186,26 @@ func (m *Manager) unregisterInboxJournal(id int64) {
 // Chaos exposes the manager's fault schedule (nil when Config.Chaos is
 // disabled); tests and tooling read its per-boundary injection counts.
 func (m *Manager) Chaos() *failure.Schedule { return m.chaos }
+
+// ListenerAddr returns the transport listener's bound address — the
+// dial target for ginflow-node workers, resolving a ":0" Config.Listen
+// to the picked port. Empty when the manager has no listener.
+func (m *Manager) ListenerAddr() string {
+	if m.server == nil {
+		return ""
+	}
+	return m.server.Addr()
+}
+
+// ConnectedNodes reports how many worker processes have joined the
+// transport listener (0 without one). Node identities persist across
+// connection drops, so a briefly-partitioned worker still counts.
+func (m *Manager) ConnectedNodes() int {
+	if m.server == nil {
+		return 0
+	}
+	return m.server.NodeCount()
+}
 
 // EventsDropped reports how many merged-bus events were lost to slow
 // consumers of Manager.Events.
@@ -410,6 +445,11 @@ func (m *Manager) Close() error {
 	}
 	m.wg.Wait()
 	m.events.close()
+	// The listener fronts the broker: shut it first so no remote
+	// publish lands after the broker is gone.
+	if m.server != nil {
+		m.server.Close()
+	}
 	if m.broker != nil {
 		return m.broker.Close()
 	}

@@ -19,6 +19,7 @@ import (
 	"ginflow/internal/mq"
 	"ginflow/internal/space"
 	"ginflow/internal/trace"
+	"ginflow/internal/transport"
 	"ginflow/internal/workflow"
 )
 
@@ -276,6 +277,8 @@ func (s *Session) runCentralized(ctx context.Context) (*Report, error) {
 	clus := s.mgr.cluster
 	clock := clus.Clock()
 	rng := clus.Rand()
+	chaos := s.mgr.chaos
+	rc := s.mgr.cfg.Retry.WithDefaults()
 
 	eng := hocl.NewEngine()
 	eng.Funcs.Register(hoclflow.FnInvoke, func(args []hocl.Atom) ([]hocl.Atom, error) {
@@ -293,7 +296,33 @@ func (s *Session) runCentralized(ctx context.Context) (*Report, error) {
 				params = l
 			}
 		}
-		clock.Sleep(svc.InvocationDuration(rng))
+		// The invocation boundary is chaos-perturbed exactly like the
+		// agents' (rideOutFaults): slow calls succeed late, errors and
+		// timeouts cost their modelled delay and retry under the bounded
+		// backoff budget, and exhaustion fails the reduction with the
+		// failure.ErrRetriesExhausted chain.
+		dur := svc.InvocationDuration(rng)
+		for attempt := 1; ; attempt++ {
+			switch f := chaos.Draw(failure.BoundaryInvoke); f.Kind {
+			case failure.FaultSlow:
+				clock.Sleep(dur + f.Delay)
+			case failure.FaultError, failure.FaultTimeout:
+				cost := f.Delay
+				if f.Kind == failure.FaultTimeout {
+					cost = dur // the service ran to its deadline before the response was lost
+				}
+				clock.Sleep(cost)
+				if attempt >= rc.MaxAttempts {
+					return nil, fmt.Errorf("invoke %s: %d attempts: %w (%w)",
+						name, attempt, failure.ErrRetriesExhausted, f.Err)
+				}
+				clock.Sleep(rc.Delay(attempt))
+				continue
+			default:
+				clock.Sleep(dur)
+			}
+			break
+		}
 		res, err := svc.Invoke(params)
 		if err != nil {
 			return []hocl.Atom{hoclflow.AtomERROR}, nil
@@ -409,7 +438,12 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	defer broker.PurgeTopics(s.prefix)
 
 	// The space consumes status updates; attach before any agent runs.
+	// The space-client boundary is chaos-perturbed too: delivered status
+	// batches may be deferred or double-folded before they reach the
+	// multiset (drops are deferred, never lost — FlushDeferred below
+	// drains the remainder so the run still converges).
 	sp := s.space
+	sp.SetChaos(s.mgr.chaos)
 	if err := sp.Attach(broker, spaceTopic); err != nil {
 		return nil, err
 	}
@@ -515,6 +549,15 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 
 	injector := failure.New(s.sub.FailureP, s.sub.FailureT, clus.Rand())
 
+	// Remote enactment: when the manager hosts a transport listener and
+	// worker processes have joined, the agents run out-of-process — the
+	// session fans its tasks out over the joined nodes and supervises
+	// through the control protocol instead of in-process goroutines.
+	// Recovered sessions stay in-process: their agents seed from
+	// journaled solutions, which do not travel over an Assignment.
+	var rh *remoteHost
+	useRemote := s.mgr.server != nil && !s.recovered && s.mgr.server.NodeCount() > 0
+
 	// Launch supervised agents. Every first incarnation subscribes
 	// before any agent starts reducing: a fast entry task must not
 	// publish results into the void (fatal on the volatile queue broker).
@@ -526,13 +569,24 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		recorder: s.recorder,
 		chaos:    s.mgr.chaos, retry: cfg.Retry,
 	}
-	firstIncarnations := make([]*agent.Agent, len(placements))
-	for i, p := range placements {
-		a := sup.newAgent(p, 0)
-		if err := a.Subscribe(); err != nil {
+	var firstIncarnations []*agent.Agent
+	if useRemote {
+		// Remote READY is the same barrier: every worker reports READY
+		// only after all its inbox subscriptions reached the broker.
+		rh, err = s.launchRemote(ctx, sp, spaceTopic, topicPrefix, specs)
+		if err != nil {
 			return nil, err
 		}
-		firstIncarnations[i] = a
+		defer rh.close()
+	} else {
+		firstIncarnations = make([]*agent.Agent, len(placements))
+		for i, p := range placements {
+			a := sup.newAgent(p, 0)
+			if err := a.Subscribe(); err != nil {
+				return nil, err
+			}
+			firstIncarnations[i] = a
+		}
 	}
 
 	// Post-resume convergence: ask every recovered agent for a full
@@ -549,14 +603,20 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	execStart := clock.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(placements))
-	for i, p := range placements {
-		wg.Add(1)
-		go func(p executor.Placement, first *agent.Agent) {
-			defer wg.Done()
-			if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
-				errCh <- err
-			}
-		}(p, firstIncarnations[i])
+	var remoteFailed <-chan error
+	if useRemote {
+		rh.rs.Start()
+		remoteFailed = rh.rs.Failed()
+	} else {
+		for i, p := range placements {
+			wg.Add(1)
+			go func(p executor.Placement, first *agent.Agent) {
+				defer wg.Done()
+				if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
+					errCh <- err
+				}
+			}(p, firstIncarnations[i])
+		}
 	}
 
 	// Wait for the exit tasks to report completion in the space.
@@ -573,6 +633,8 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 			return err
 		case err := <-errCh:
 			return fmt.Errorf("core: agent failed: %w", err)
+		case err := <-remoteFailed:
+			return fmt.Errorf("core: agent failed: %w", err)
 		case err := <-spaceFailed:
 			return fmt.Errorf("core: space failed: %w", err)
 		}
@@ -580,6 +642,10 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	execTime := clock.Now() - execStart
 	stopAgents()
 	wg.Wait()
+	var remoteStats transport.NodeDone
+	if useRemote {
+		remoteStats = rh.stop()
+	}
 
 	// Chaos settle drain: delayed, duplicated and redelivered status
 	// pushes may still be in flight when the exit tasks report complete;
@@ -591,6 +657,9 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 			clock.SleepCtx(ctx, d)
 		}
 	}
+	// Space-boundary chaos defers dropped batches instead of losing
+	// them; fold the remainder in before the final state is read.
+	sp.FlushDeferred()
 
 	if n := s.hub.droppedCount(); n > 0 {
 		s.recorder.Record(trace.EventsDropped, "", 0,
@@ -614,6 +683,13 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 
 		DuplicatesSuppressed: sup.duplicates(),
 		EventsDropped:        s.hub.droppedCount(),
+	}
+	if useRemote {
+		// Out-of-process agents report their crash/respawn/dedup counts
+		// in their DONE frames; the in-process supervisor saw nothing.
+		rep.Failures = remoteStats.Failures
+		rep.Recoveries = remoteStats.Recoveries
+		rep.DuplicatesSuppressed = remoteStats.Duplicates
 	}
 	rep.Adaptations = sp.Triggered()
 	rep.Events = s.recorder.Events()

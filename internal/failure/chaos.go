@@ -34,6 +34,17 @@ const (
 	BoundaryJournalWrite
 	// BoundaryJournalSync is the journal fsync: slow-downs.
 	BoundaryJournalSync
+	// BoundarySocket is the network transport's publish dispatch (the
+	// TCP frame boundary between a remote node and the listener's
+	// broker): drop (with bounded redelivery), duplicate, delay,
+	// reorder — the real-network fault mix, applied after the frame
+	// protocol's own dedup so the connection resume logic stays honest.
+	BoundarySocket
+	// BoundarySpace is the space-client boundary: the hand-off between
+	// the broker's status-topic feed and the space fold. Faults defer
+	// (never lose) or duplicate individual folds, exercising the version
+	// gate and resync machinery from the consumer side.
+	BoundarySpace
 
 	boundaryCount
 )
@@ -51,6 +62,10 @@ func (b Boundary) String() string {
 		return "journal-write"
 	case BoundaryJournalSync:
 		return "journal-sync"
+	case BoundarySocket:
+		return "socket"
+	case BoundarySpace:
+		return "space"
 	}
 	return fmt.Sprintf("boundary(%d)", int(b))
 }
@@ -195,6 +210,30 @@ type ChaosConfig struct {
 	// JournalSyncDelayMax bounds injected fsync stalls (default 2).
 	JournalSyncDelayMax float64
 
+	// SocketDropP is the probability a transport-level publish dispatch
+	// is dropped. Like broker drops, a dropped dispatch is re-attempted
+	// after RedeliverDelay (bounded), so the socket stays at-least-once.
+	SocketDropP float64
+	// SocketDupP is the probability a transport-level publish is
+	// dispatched twice (the second copy after RedeliverDelay).
+	SocketDupP float64
+	// SocketDelayP is the probability a transport-level publish is
+	// delayed by up to SocketDelayMax model seconds before reaching the
+	// broker — a genuine reordering against concurrent traffic.
+	SocketDelayP float64
+	// SocketDelayMax bounds injected socket delays (default 8).
+	SocketDelayMax float64
+	// SocketReorderP is the probability a transport-level publish is
+	// held back for RedeliverDelay so the dispatch behind it overtakes.
+	SocketReorderP float64
+
+	// SpaceDropP is the probability one status message's fold into the
+	// space is deferred to a later batch (never lost: the space flushes
+	// deferred messages on subsequent folds and at shutdown).
+	SpaceDropP float64
+	// SpaceDupP is the probability one status message is folded twice.
+	SpaceDupP float64
+
 	// MaxConsecutive forces a no-fault draw after this many consecutive
 	// faults on one boundary, keeping retry budgets sufficient (default
 	// 3; negative disables the cap).
@@ -206,7 +245,9 @@ func (c ChaosConfig) Enabled() bool {
 	return c.MessageDropP > 0 || c.MessageDupP > 0 || c.MessageDelayP > 0 ||
 		c.MessageReorderP > 0 || c.InvokeErrorP > 0 || c.InvokeTimeoutP > 0 ||
 		c.InvokeSlowP > 0 || c.DeployErrorP > 0 || c.JournalErrorP > 0 ||
-		c.JournalTornP > 0 || c.JournalSlowSyncP > 0
+		c.JournalTornP > 0 || c.JournalSlowSyncP > 0 ||
+		c.SocketDropP > 0 || c.SocketDupP > 0 || c.SocketDelayP > 0 ||
+		c.SocketReorderP > 0 || c.SpaceDropP > 0 || c.SpaceDupP > 0
 }
 
 // withDefaults fills unset durations and caps.
@@ -223,6 +264,9 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.JournalSyncDelayMax <= 0 {
 		c.JournalSyncDelayMax = 2
 	}
+	if c.SocketDelayMax <= 0 {
+		c.SocketDelayMax = 8
+	}
 	if c.MaxConsecutive == 0 {
 		c.MaxConsecutive = 3
 	}
@@ -234,11 +278,28 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 // worst redelivery chain and the largest injected delay to land. Zero
 // when no message faults are configured.
 func (c ChaosConfig) SettleSeconds() float64 {
-	if c.MessageDropP <= 0 && c.MessageDupP <= 0 && c.MessageDelayP <= 0 && c.MessageReorderP <= 0 {
+	msg := c.MessageDropP > 0 || c.MessageDupP > 0 || c.MessageDelayP > 0 || c.MessageReorderP > 0
+	sock := c.SocketDropP > 0 || c.SocketDupP > 0 || c.SocketDelayP > 0 || c.SocketReorderP > 0
+	space := c.SpaceDropP > 0 || c.SpaceDupP > 0
+	if !msg && !sock && !space {
 		return 0
 	}
 	c = c.withDefaults()
-	return c.MessageDelayMax + 3*c.RedeliverDelay + 2
+	var d float64
+	if msg {
+		d += c.MessageDelayMax + 3*c.RedeliverDelay + 2
+	}
+	if sock {
+		// A socket fault feeds the broker late; its worst chain stacks on
+		// top of whatever the message boundary may add afterwards.
+		d += c.SocketDelayMax + 3*c.RedeliverDelay + 2
+	}
+	if space {
+		// Deferred folds flush on the next batch or the serve loop's
+		// real-time ticker; a small drain covers the tail.
+		d += 2
+	}
+	return d
 }
 
 // RetryConfig bounds the retry-with-backoff applied to transient faults
@@ -439,6 +500,30 @@ func (s *Schedule) drawLocked(b Boundary, rng *rand.Rand) Fault {
 	case BoundaryJournalSync:
 		if x < c.JournalSlowSyncP {
 			return Fault{Kind: FaultSlow, Delay: rng.Float64() * c.JournalSyncDelayMax}
+		}
+	case BoundarySocket:
+		if x < c.SocketDropP {
+			return Fault{Kind: FaultDrop}
+		}
+		x -= c.SocketDropP
+		if x < c.SocketDupP {
+			return Fault{Kind: FaultDuplicate}
+		}
+		x -= c.SocketDupP
+		if x < c.SocketDelayP {
+			return Fault{Kind: FaultDelay, Delay: rng.Float64() * c.SocketDelayMax}
+		}
+		x -= c.SocketDelayP
+		if x < c.SocketReorderP {
+			return Fault{Kind: FaultReorder}
+		}
+	case BoundarySpace:
+		if x < c.SpaceDropP {
+			return Fault{Kind: FaultDrop}
+		}
+		x -= c.SpaceDropP
+		if x < c.SpaceDupP {
+			return Fault{Kind: FaultDuplicate}
 		}
 	}
 	return Fault{}

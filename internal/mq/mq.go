@@ -24,8 +24,9 @@
 // a session's messages queue only behind their own session's traffic,
 // while concurrent sessions spread over the shard set instead of
 // contending on one lock and one modelled middleware occupancy. Topics
-// outside a session namespace share the default shard, which keeps
-// single-run timings identical at any shard count.
+// outside a session namespace hash individually over the same shard
+// set, so standalone (un-namespaced) traffic spreads too instead of
+// serializing on one default shard's occupancy.
 //
 // # Batch delivery
 //
@@ -141,17 +142,19 @@ type Replayable interface {
 	Log(topic string) []Message
 }
 
-// DefaultShards is the default number of broker shards. Topics outside a
-// session namespace all share one shard, so the default changes nothing
-// for single-run setups; concurrent Manager sessions spread over the
-// shard set.
+// DefaultShards is the default number of broker shards. A session's
+// topics stay on one shard (see ShardKey) while different sessions hash
+// apart; topics outside any session namespace are routed by their full
+// name, so standalone traffic also spreads over the shard set.
 const DefaultShards = 8
 
 // ShardKey extracts the routing key of a topic: its session-namespace
 // prefix ("wf<id>.", as minted by the Manager) when present, else the
-// empty default key. Keying on the namespace keeps all of one session's
-// topics on one shard — a session's delivery order and middleware
-// occupancy are self-contained — while different sessions hash apart.
+// empty key. Keying on the namespace keeps all of one session's topics
+// on one shard — a session's delivery order and middleware occupancy
+// are self-contained — while different sessions hash apart. Topics with
+// the empty key are routed by their full name (shardIndex), so
+// standalone traffic spreads over the shards instead of serializing.
 func ShardKey(topic string) string {
 	if len(topic) > 3 && topic[0] == 'w' && topic[1] == 'f' {
 		i := 2
@@ -245,6 +248,12 @@ func (c *common) shardFor(topic string) *shard {
 
 func (c *common) shardIndex(topic string) int {
 	key := ShardKey(topic)
+	if key == "" {
+		// No session namespace: hash the full topic so standalone topics
+		// spread over the shard set instead of all serializing behind one
+		// default shard's modelled occupancy.
+		key = topic
+	}
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint64(key[i])) * 1099511628211
@@ -444,6 +453,50 @@ func (c *common) Subscribe(topic string) (*Subscription, error) {
 			c.removeSub(sh, topic, sub.id)
 		},
 	}, nil
+}
+
+// pushSubIDs numbers push-fed subscriptions; they never register on a
+// broker shard, so the counter only needs to be unique among themselves.
+var pushSubIDs atomic.Int64
+
+// NewPushSubscription builds a Subscription fed by the returned push
+// function instead of a local broker shard — the consumer half of a
+// remote transport. Each pushed message is due immediately (its modelled
+// latency already elapsed on the serving broker before the bytes hit
+// the wire); the batch/drain machinery behind Batches and C behaves
+// exactly as for a broker-fed subscription, including the recycled-
+// batch ownership contract. onCancel, when non-nil, runs once when the
+// subscription is cancelled (e.g. to tell the remote side to stop
+// forwarding). Pushing after cancellation is safe and delivers nothing.
+func NewPushSubscription(onCancel func()) (*Subscription, func(msgs []Message)) {
+	sub := &subscriber{
+		id:   pushSubIDs.Add(1),
+		wake: make(chan struct{}, 1),
+		out:  make(chan []Message),
+		done: make(chan struct{}),
+	}
+	go sub.drain()
+	push := func(msgs []Message) {
+		now := time.Now()
+		sub.mu.Lock()
+		for i := range msgs {
+			sub.queue = append(sub.queue, timedMsg{msg: msgs[i], due: now})
+		}
+		sub.mu.Unlock()
+		select {
+		case sub.wake <- struct{}{}:
+		default:
+		}
+	}
+	return &Subscription{
+		sub: sub,
+		cancel: func() {
+			close(sub.done)
+			if onCancel != nil {
+				onCancel()
+			}
+		},
+	}, push
 }
 
 func (c *common) removeSub(sh *shard, topic string, id int64) {

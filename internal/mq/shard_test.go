@@ -31,8 +31,9 @@ func TestShardKey(t *testing.T) {
 }
 
 // TestSessionTopicsShareAShard: all topics of one session namespace
-// route to the same shard (a session's traffic is self-contained), and
-// an un-namespaced topic routes to the default shard regardless of name.
+// route to the same shard (a session's traffic is self-contained),
+// while un-namespaced topics hash individually so standalone traffic
+// spreads over the shard set instead of serializing on one shard.
 func TestSessionTopicsShareAShard(t *testing.T) {
 	b := NewQueueBrokerSharded(testClock(), 0.001, 8)
 	if b.ShardCount() != 8 {
@@ -45,8 +46,53 @@ func TestSessionTopicsShareAShard(t *testing.T) {
 	if got := b.shardIndex("wf7.ginflow.space"); got != s1 {
 		t.Errorf("space topic on a different shard than the inboxes: %d vs %d", got, s1)
 	}
-	if got, want := b.shardIndex("sa.T1"), b.shardIndex("ginflow.space"); got != want {
-		t.Errorf("un-namespaced topics split across shards: %d vs %d", got, want)
+	shardsHit := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		shardsHit[b.shardIndex(fmt.Sprintf("sa.T%d", i))] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Errorf("32 standalone topics all hashed to %d shard(s): the default-shard serialization is back", len(shardsHit))
+	}
+}
+
+// BenchmarkStandaloneShardSpread is the regression benchmark for the
+// standalone-traffic routing fix: 8 un-namespaced topics bursting
+// through a sharded broker with modelled occupancy. Before the fix all
+// of them shared the default shard, so the burst serialized behind one
+// occupancy queue; with per-topic hashing the delivery wall time drops
+// by roughly the shard spread.
+func BenchmarkStandaloneShardSpread(b *testing.B) {
+	clock := cluster.NewClock(50 * time.Microsecond)
+	br := NewQueueBrokerSharded(clock, 0.001, 8)
+	br.SetServiceTime(0.05) // occupancy is the serialization under test
+	const topics = 8
+	const perTopic = 16
+	subs := make([]*Subscription, topics)
+	names := make([]string, topics)
+	for i := range subs {
+		names[i] = fmt.Sprintf("sa.bench%d", i)
+		s, err := br.Subscribe(names[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for j := 0; j < perTopic; j++ {
+			for i := 0; i < topics; i++ {
+				if err := br.Publish(names[i], "x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < topics; i++ {
+			got := 0
+			for got < perTopic {
+				got += len(<-subs[i].Batches())
+			}
+		}
 	}
 }
 

@@ -16,7 +16,10 @@ package space
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/mq"
@@ -100,6 +103,14 @@ type Space struct {
 	resyncSent    int64
 
 	sub *mq.Subscription
+
+	// chaos, when set, perturbs the serve-path fold order (defer and
+	// duplicate per message) — the space-client boundary of the chaos
+	// harness. deferred holds the held-back messages; deferMu is separate
+	// from mu because flushing folds through ApplyBatch, which takes mu.
+	chaos    atomic.Pointer[failure.Schedule]
+	deferMu  sync.Mutex
+	deferred []mq.Message
 }
 
 // taskVersion orders one task's status pushes: incarnations dominate,
@@ -412,6 +423,11 @@ func (s *Space) Serve(ctx context.Context, broker mq.Broker, topic string) error
 // point). Hooks see batches in the order the space applies them — the
 // ordering guarantee a write-ahead log needs and a second subscriber
 // could not give.
+//
+// When a chaos schedule is installed (SetChaos), the fold order behind
+// the hooks is perturbed: messages may be held back or folded twice.
+// The hooks still see raw batches in arrival order, so a journal
+// records truth while the chaos exercises the version gate beneath it.
 func (s *Space) ServeHooked(ctx context.Context, broker mq.Broker, topic string, before func([]mq.Message), after func()) error {
 	if err := s.Attach(broker, topic); err != nil {
 		return err
@@ -421,20 +437,106 @@ func (s *Space) ServeHooked(ctx context.Context, broker mq.Broker, topic string,
 	s.mu.Unlock()
 	defer sub.Cancel()
 	batches := sub.Batches()
+	// Under chaos, a ticker drains held-back messages so a deferral
+	// during the final quiet period cannot stall convergence.
+	var tick <-chan time.Time
+	if sched := s.chaos.Load(); sched.Enabled() {
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
+			s.FlushDeferred()
 			return ctx.Err()
+		case <-tick:
+			s.FlushDeferred()
 		case batch := <-batches:
 			if before != nil {
 				before(batch)
 			}
-			s.ApplyBatch(batch)
+			s.applyBatchChaos(batch)
 			if after != nil {
 				after()
 			}
 		}
 	}
+}
+
+// SetChaos installs the fault schedule for the space-client boundary.
+// Install before Serve; a nil schedule is ignored.
+func (s *Space) SetChaos(sched *failure.Schedule) {
+	if sched != nil {
+		s.chaos.Store(sched)
+	}
+}
+
+// applyBatchChaos folds one serve-path batch, drawing a fault per
+// message when chaos is enabled: a "drop" defers the fold (a delayed
+// apply — never a loss, since a lost final status would break the
+// convergence guarantee the paper's model gives), a duplicate folds the
+// message twice (the version gate must shrug it off). Held-back
+// messages rejoin at the next fold, oldest first, so they arrive out of
+// order relative to their successors. The perturbation lives only on
+// the serve path: ApplyBatch itself stays pure for recovery replay.
+func (s *Space) applyBatchChaos(batch []mq.Message) {
+	sched := s.chaos.Load()
+	if !sched.Enabled() {
+		s.ApplyBatch(batch)
+		return
+	}
+	s.deferMu.Lock()
+	pending := s.deferred
+	s.deferred = nil
+	s.deferMu.Unlock()
+	apply := make([]mq.Message, 0, len(pending)+len(batch))
+	apply = append(apply, pending...)
+	var held []mq.Message
+	for i := range batch {
+		switch sched.Draw(failure.BoundarySpace).Kind {
+		case failure.FaultDrop:
+			// Deep-copy before holding: the batch slice is broker-owned
+			// and recycled after this call returns.
+			held = append(held, copyMsg(batch[i]))
+		case failure.FaultDuplicate:
+			apply = append(apply, batch[i], batch[i])
+		default:
+			apply = append(apply, batch[i])
+		}
+	}
+	if len(apply) > 0 {
+		s.ApplyBatch(apply)
+	}
+	if len(held) > 0 {
+		s.deferMu.Lock()
+		s.deferred = append(s.deferred, held...)
+		s.deferMu.Unlock()
+	}
+}
+
+// FlushDeferred folds every chaos-deferred message immediately,
+// returning how many decoded. The engine calls it after the chaos
+// settle window, before reading results — deferred state must land
+// before anyone fingerprints the space.
+func (s *Space) FlushDeferred() int {
+	s.deferMu.Lock()
+	pending := s.deferred
+	s.deferred = nil
+	s.deferMu.Unlock()
+	if len(pending) == 0 {
+		return 0
+	}
+	return s.ApplyBatch(pending)
+}
+
+// copyMsg deep-copies a broker-owned message for retention beyond the
+// batch hand-off (atom values are immutable; only the slice is shared).
+func copyMsg(m mq.Message) mq.Message {
+	if m.Atoms != nil {
+		m.Atoms = append([]hocl.Atom(nil), m.Atoms...)
+	}
+	return m
 }
 
 // TaskStates returns a copy-on-write snapshot of every task's recorded

@@ -1,0 +1,467 @@
+// Package transport puts the GinFlow broker on a real network: a TCP
+// listener (Server) fronts the in-process sharded broker, and a
+// client-side RemoteBroker satisfies the mq.Broker interface so agents,
+// the space and the journal code run unchanged in a separate OS process.
+// A worker process hosts agents through the Node runtime (Join), which
+// receives its task assignments, workflow definition and tuning over the
+// same connection.
+//
+// # Frame format
+//
+// Every frame is length-prefixed: a 4-byte big-endian length (counting
+// the type byte and the payload, capped at 16 MiB), one type byte, then
+// the payload. Payload integers are varints (uvarint unless noted),
+// strings and byte blobs are uvarint-length-prefixed. Molecule payloads
+// travel in the hocl wire codec (hocl.EncodeAtoms / hocl.DecodeAtoms).
+//
+// Control frames (HELLO, WELCOME, PING, PONG, ACK) are connection-scoped
+// and unsequenced. Every other frame is reliable: its payload starts
+// with a per-direction uvarint sequence number, the sender keeps the
+// frame in an outbox until the peer's cumulative ACK passes it, and a
+// reconnect replays the outbox — so a dropped connection loses nothing
+// and duplicates are discarded by sequence on the receiver.
+//
+// # Handshake and reconnect
+//
+// A client opens with HELLO{version, nodeID, lastSeq, name}; nodeID 0
+// asks the server to assign a fresh node identity, a non-zero nodeID
+// resumes an existing one after a connection drop. The server answers
+// WELCOME{version, nodeID, lastSeq}. The lastSeq fields carry each
+// side's highest received sequence number, acting as an implicit
+// cumulative ACK that trims the peer's outbox before it replays.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// protocolVersion is the frame protocol version carried in HELLO and
+// WELCOME; a mismatch fails the handshake.
+const protocolVersion = 1
+
+// maxFrame bounds a frame's length prefix (type byte + payload). A peer
+// announcing more is protocol-corrupt and the connection is dropped
+// before any allocation.
+const maxFrame = 16 << 20
+
+// Frame types. Types below fSubscribe are connection control
+// (unsequenced); fSubscribe and above are reliable frames whose payload
+// starts with a sequence number.
+const (
+	fHello   byte = 1 // client→server: version, nodeID (0 = assign), lastSeq, name
+	fWelcome byte = 2 // server→client: version, assigned nodeID, lastSeq
+	fPing    byte = 3 // either direction: empty, answered with PONG
+	fPong    byte = 4 // either direction: empty
+	fAck     byte = 5 // either direction: cumulative received seq
+
+	fSubscribe   byte = 16 // client→server: subID, topic
+	fUnsubscribe byte = 17 // client→server: subID
+	fPublish     byte = 18 // client→server: topic, kind, data
+	fBatch       byte = 19 // server→client: subID, count, messages
+	fAssign      byte = 20 // server→client: session, assignment JSON
+	fReady       byte = 21 // client→server: session
+	fStart       byte = 22 // server→client: session
+	fStop        byte = 23 // server→client: session
+	fFail        byte = 24 // client→server: session, failure JSON
+	fDone        byte = 25 // client→server: session, stats JSON
+	fEvent       byte = 26 // client→server: session, trace-event JSON
+	fLogReq      byte = 27 // client→server: reqID, topic
+	fLogResp     byte = 28 // server→client: reqID, count, messages
+
+	fTypeMax byte = 28
+)
+
+// reliable reports whether a frame type carries a sequence number.
+func reliable(typ byte) bool { return typ >= fSubscribe }
+
+// Message payload kinds inside PUBLISH / BATCH / LOGRESP entries.
+const (
+	kindTextual    byte = 0 // data is the payload string's bytes
+	kindStructural byte = 1 // data is hocl wire-encoded atoms
+)
+
+// errFrame is the root of every frame-decode error; the fuzz harness
+// asserts decoding either succeeds or returns an error wrapping it —
+// never panics.
+var errFrame = errors.New("transport: bad frame")
+
+// writeFrame writes one frame as a single Write (header, type byte and
+// payload in one buffer), so concurrent writers serialized by a mutex
+// never interleave partial frames.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	n := 1 + len(payload)
+	if n > maxFrame {
+		return fmt.Errorf("%w: oversized frame (%d bytes)", errFrame, n)
+	}
+	buf := make([]byte, 0, 5+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, returning its type and a freshly allocated
+// payload (safe to retain or hand to goroutines). Length and type are
+// validated before any payload allocation.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: length %d", errFrame, n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, err
+	}
+	typ := hdr[4]
+	if typ == 0 || typ > fTypeMax {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", errFrame, typ)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// cursor is a bounds-checked reader over a frame payload. Every method
+// returns an error instead of panicking, whatever the input — the
+// property FuzzFrameDecode locks in.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d", errFrame, fmt.Sprintf(format, args...), c.off)
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, c.errf("bad uvarint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, c.errf("bad varint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) u8() (byte, error) {
+	if c.off >= len(c.buf) {
+		return 0, c.errf("truncated byte")
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+// bytes returns a length-prefixed blob as a sub-slice of the payload
+// (no copy; the payload is per-frame allocated, so retaining is safe).
+func (c *cursor) bytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.buf)-c.off) {
+		return nil, c.errf("blob length %d exceeds remaining %d", n, len(c.buf)-c.off)
+	}
+	b := c.buf[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b, nil
+}
+
+func (c *cursor) str() (string, error) {
+	b, err := c.bytes()
+	return string(b), err
+}
+
+// done errors on trailing garbage, so a frame with extra bytes is
+// rejected rather than silently half-read.
+func (c *cursor) done() error {
+	if c.off != len(c.buf) {
+		return c.errf("%d trailing bytes", len(c.buf)-c.off)
+	}
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// helloFrame is the client's opening frame.
+type helloFrame struct {
+	version byte
+	nodeID  uint64
+	lastSeq uint64
+	name    string
+}
+
+func encodeHello(h helloFrame) []byte {
+	buf := []byte{h.version}
+	buf = binary.AppendUvarint(buf, h.nodeID)
+	buf = binary.AppendUvarint(buf, h.lastSeq)
+	return appendString(buf, h.name)
+}
+
+func parseHello(payload []byte) (helloFrame, error) {
+	c := cursor{buf: payload}
+	var h helloFrame
+	var err error
+	if h.version, err = c.u8(); err != nil {
+		return h, err
+	}
+	if h.nodeID, err = c.uvarint(); err != nil {
+		return h, err
+	}
+	if h.lastSeq, err = c.uvarint(); err != nil {
+		return h, err
+	}
+	if h.name, err = c.str(); err != nil {
+		return h, err
+	}
+	return h, c.done()
+}
+
+// welcomeFrame is the server's handshake reply.
+type welcomeFrame struct {
+	version byte
+	nodeID  uint64
+	lastSeq uint64
+}
+
+func encodeWelcome(w welcomeFrame) []byte {
+	buf := []byte{w.version}
+	buf = binary.AppendUvarint(buf, w.nodeID)
+	return binary.AppendUvarint(buf, w.lastSeq)
+}
+
+func parseWelcome(payload []byte) (welcomeFrame, error) {
+	c := cursor{buf: payload}
+	var w welcomeFrame
+	var err error
+	if w.version, err = c.u8(); err != nil {
+		return w, err
+	}
+	if w.nodeID, err = c.uvarint(); err != nil {
+		return w, err
+	}
+	if w.lastSeq, err = c.uvarint(); err != nil {
+		return w, err
+	}
+	return w, c.done()
+}
+
+// wireMsg is one broker message inside a BATCH or LOGRESP frame.
+type wireMsg struct {
+	kind   byte
+	offset int64
+	data   []byte
+}
+
+func appendWireMsg(dst []byte, m wireMsg) []byte {
+	dst = append(dst, m.kind)
+	dst = binary.AppendVarint(dst, m.offset)
+	return appendBytes(dst, m.data)
+}
+
+func (c *cursor) wireMsg() (wireMsg, error) {
+	var m wireMsg
+	var err error
+	if m.kind, err = c.u8(); err != nil {
+		return m, err
+	}
+	if m.kind != kindTextual && m.kind != kindStructural {
+		return m, c.errf("unknown message kind %d", m.kind)
+	}
+	if m.offset, err = c.varint(); err != nil {
+		return m, err
+	}
+	m.data, err = c.data()
+	return m, err
+}
+
+// data reads a blob like bytes but always returns a non-nil slice, so a
+// structural message with zero atoms stays structural on the far side.
+func (c *cursor) data() ([]byte, error) {
+	b, err := c.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = []byte{}
+	}
+	return b, nil
+}
+
+// publishFrame is a client publish: one topic, one message body.
+type publishFrame struct {
+	topic string
+	kind  byte
+	data  []byte
+}
+
+func encodePublish(seq uint64, p publishFrame) []byte {
+	buf := binary.AppendUvarint(nil, seq)
+	buf = appendString(buf, p.topic)
+	buf = append(buf, p.kind)
+	return appendBytes(buf, p.data)
+}
+
+// parsePublish parses a PUBLISH body (sequence already consumed).
+func parsePublish(c *cursor) (publishFrame, error) {
+	var p publishFrame
+	var err error
+	if p.topic, err = c.str(); err != nil {
+		return p, err
+	}
+	if p.kind, err = c.u8(); err != nil {
+		return p, err
+	}
+	if p.kind != kindTextual && p.kind != kindStructural {
+		return p, c.errf("unknown message kind %d", p.kind)
+	}
+	if p.data, err = c.data(); err != nil {
+		return p, err
+	}
+	return p, c.done()
+}
+
+// encodeMsgs appends a count-prefixed message list (BATCH and LOGRESP
+// share the layout after their respective IDs).
+func encodeMsgs(buf []byte, msgs []wireMsg) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		buf = appendWireMsg(buf, m)
+	}
+	return buf
+}
+
+func (c *cursor) msgs() ([]wireMsg, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.buf)-c.off) {
+		// Each message costs at least 3 bytes; a count beyond the
+		// remaining payload is corrupt, rejected before allocation.
+		return nil, c.errf("message count %d exceeds remaining %d bytes", n, len(c.buf)-c.off)
+	}
+	msgs := make([]wireMsg, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m, err := c.wireMsg()
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
+}
+
+// sessionJSON encodes the (session, JSON blob) bodies shared by ASSIGN,
+// FAIL, DONE and EVENT.
+func encodeSessionJSON(seq, session uint64, blob []byte) []byte {
+	buf := binary.AppendUvarint(nil, seq)
+	buf = binary.AppendUvarint(buf, session)
+	return appendBytes(buf, blob)
+}
+
+func parseSessionJSON(c *cursor) (uint64, []byte, error) {
+	session, err := c.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	blob, err := c.bytes()
+	if err != nil {
+		return 0, nil, err
+	}
+	return session, blob, c.done()
+}
+
+// parseFrame validates a full frame payload of the given type,
+// discarding the result — the shared validation core of FuzzFrameDecode.
+// It exercises every per-type parser exactly as the server and client
+// read loops do.
+func parseFrame(typ byte, payload []byte) error {
+	c := cursor{buf: payload}
+	if reliable(typ) {
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+	}
+	switch typ {
+	case fHello:
+		_, err := parseHello(payload)
+		return err
+	case fWelcome:
+		_, err := parseWelcome(payload)
+		return err
+	case fPing, fPong:
+		return c.done()
+	case fAck:
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+		return c.done()
+	case fSubscribe:
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+		if _, err := c.str(); err != nil {
+			return err
+		}
+		return c.done()
+	case fUnsubscribe:
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+		return c.done()
+	case fPublish:
+		_, err := parsePublish(&c)
+		return err
+	case fBatch, fLogResp:
+		if _, err := c.uvarint(); err != nil { // subID / reqID
+			return err
+		}
+		if _, err := c.msgs(); err != nil {
+			return err
+		}
+		return c.done()
+	case fLogReq:
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+		if _, err := c.str(); err != nil {
+			return err
+		}
+		return c.done()
+	case fAssign, fFail, fDone, fEvent:
+		_, _, err := parseSessionJSON(&c)
+		return err
+	case fReady, fStart, fStop:
+		if _, err := c.uvarint(); err != nil {
+			return err
+		}
+		return c.done()
+	}
+	return fmt.Errorf("%w: unknown type %d", errFrame, typ)
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"ginflow/internal/hocl"
+)
+
+// frameBytes renders a full wire frame (length header, type, payload).
+func frameBytes(t testing.TB, typ byte, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := helloFrame{version: protocolVersion, nodeID: 7, lastSeq: 42, name: "worker-a"}
+	if err := writeFrame(&buf, fHello, encodeHello(h)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil || typ != fHello {
+		t.Fatalf("readFrame: type %d err %v", typ, err)
+	}
+	got, err := parseHello(payload)
+	if err != nil || got != h {
+		t.Fatalf("parseHello: %+v err %v", got, err)
+	}
+
+	w := welcomeFrame{version: protocolVersion, nodeID: 7, lastSeq: 9}
+	gw, err := parseWelcome(encodeWelcome(w))
+	if err != nil || gw != w {
+		t.Fatalf("parseWelcome: %+v err %v", gw, err)
+	}
+}
+
+func TestPublishRoundTrip(t *testing.T) {
+	atoms := []hocl.Atom{hocl.Str("hello"), hocl.Int(3)}
+	p := publishFrame{topic: "wf1.space", kind: kindStructural, data: hocl.EncodeAtoms(atoms)}
+	payload := encodePublish(99, p)
+	c := cursor{buf: payload}
+	seq, err := c.uvarint()
+	if err != nil || seq != 99 {
+		t.Fatalf("seq %d err %v", seq, err)
+	}
+	got, err := parsePublish(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.topic != p.topic || got.kind != p.kind || !bytes.Equal(got.data, p.data) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	back, err := hocl.DecodeAtoms(got.data)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("decode atoms: %v %v", back, err)
+	}
+}
+
+func TestMsgsRoundTrip(t *testing.T) {
+	msgs := []wireMsg{
+		{kind: kindTextual, offset: -1, data: []byte("DONE")},
+		{kind: kindStructural, offset: 12, data: hocl.EncodeAtoms([]hocl.Atom{hocl.Int(1)})},
+	}
+	buf := encodeMsgs(binary.AppendUvarint(nil, 5), msgs)
+	c := cursor{buf: buf}
+	if id, err := c.uvarint(); err != nil || id != 5 {
+		t.Fatalf("id %d err %v", id, err)
+	}
+	got, err := c.msgs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].offset != -1 || string(got[0].data) != "DONE" || got[1].kind != kindStructural {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadFrameRejectsBeforeAllocation(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":    {0, 0, 0, 0},
+		"oversized":      {0xff, 0xff, 0xff, 0xff, fPing},
+		"type zero":      frameBytesRaw(3, []byte{0, 'x', 'y'}),
+		"type too large": frameBytesRaw(2, []byte{200, 'x'}),
+	}
+	for name, data := range cases {
+		if _, _, err := readFrame(bytes.NewReader(data)); !errors.Is(err, errFrame) {
+			t.Errorf("%s: err = %v, want errFrame", name, err)
+		}
+	}
+	// A torn frame (header promises more than arrives) is an io error,
+	// not a decode error: the connection died mid-frame.
+	torn := frameBytes(t, fPing, nil)[:3]
+	if _, _, err := readFrame(bytes.NewReader(torn)); err == nil {
+		t.Error("torn frame: no error")
+	}
+}
+
+// frameBytesRaw builds a frame with an arbitrary (possibly invalid)
+// body, bypassing writeFrame's checks.
+func frameBytesRaw(n uint32, body []byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, n)
+	return append(out, body...)
+}
+
+func TestParseFrameRejectsTrailingGarbage(t *testing.T) {
+	body := binary.AppendUvarint(nil, 1) // seq
+	body = binary.AppendUvarint(body, 3) // subID
+	body = append(body, 0xde, 0xad)      // trailing garbage
+	if err := parseFrame(fUnsubscribe, body); !errors.Is(err, errFrame) {
+		t.Fatalf("err = %v, want errFrame", err)
+	}
+}
+
+func TestParseFrameRejectsBadKind(t *testing.T) {
+	p := encodePublish(1, publishFrame{topic: "t", kind: 7, data: []byte("x")})
+	if err := parseFrame(fPublish, p); !errors.Is(err, errFrame) {
+		t.Fatalf("err = %v, want errFrame", err)
+	}
+}
+
+// FuzzFrameDecode locks in the frame parser's resilience contract:
+// whatever bytes arrive — torn frames, oversized lengths, bad control
+// tags, corrupt counts — reading and parsing either succeeds or returns
+// an error wrapping errFrame (or an io error for truncation); it never
+// panics and never allocates unbounded memory from a hostile length.
+func FuzzFrameDecode(f *testing.F) {
+	seq := func(body []byte) []byte {
+		return append(binary.AppendUvarint(nil, 1), body...)
+	}
+	wire := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	atoms := hocl.EncodeAtoms([]hocl.Atom{hocl.Str("res"), hocl.Int(42)})
+	msgsBody := encodeMsgs(binary.AppendUvarint(seq(nil), 2), []wireMsg{
+		{kind: kindTextual, offset: -1, data: []byte("DONE")},
+		{kind: kindStructural, offset: 3, data: atoms},
+	})
+
+	// One valid frame of every type.
+	f.Add(wire(fHello, encodeHello(helloFrame{version: 1, nodeID: 0, lastSeq: 0, name: "n"})))
+	f.Add(wire(fWelcome, encodeWelcome(welcomeFrame{version: 1, nodeID: 4, lastSeq: 2})))
+	f.Add(wire(fPing, nil))
+	f.Add(wire(fPong, nil))
+	f.Add(wire(fAck, binary.AppendUvarint(nil, 17)))
+	f.Add(wire(fSubscribe, appendString(binary.AppendUvarint(seq(nil), 1), "wf1.space")))
+	f.Add(wire(fUnsubscribe, binary.AppendUvarint(seq(nil), 1)))
+	f.Add(wire(fPublish, encodePublish(1, publishFrame{topic: "sa.t", kind: kindStructural, data: atoms})))
+	f.Add(wire(fPublish, encodePublish(2, publishFrame{topic: "sa.t", kind: kindTextual, data: []byte("hi")})))
+	f.Add(wire(fBatch, msgsBody))
+	f.Add(wire(fLogResp, msgsBody))
+	f.Add(wire(fLogReq, appendString(binary.AppendUvarint(seq(nil), 9), "sa.t")))
+	f.Add(wire(fAssign, encodeSessionJSON(1, 3, []byte(`{"tasks":["A"]}`))))
+	f.Add(wire(fReady, binary.AppendUvarint(seq(nil), 3)))
+	f.Add(wire(fStart, binary.AppendUvarint(seq(nil), 3)))
+	f.Add(wire(fStop, binary.AppendUvarint(seq(nil), 3)))
+	f.Add(wire(fFail, encodeSessionJSON(1, 3, []byte(`{"err":"x"}`))))
+	f.Add(wire(fDone, encodeSessionJSON(1, 3, []byte(`{"failures":0}`))))
+	f.Add(wire(fEvent, encodeSessionJSON(1, 3, []byte(`{"kind":"agent-started"}`))))
+
+	// Hostile shapes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                                                             // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, fPing})                                          // oversized length
+	f.Add(frameBytesRaw(2, []byte{0, 'x'}))                                               // type zero
+	f.Add(frameBytesRaw(2, []byte{200, 'x'}))                                             // bad control tag
+	f.Add(wire(fPing, nil)[:3])                                                           // torn header
+	f.Add(wire(fHello, []byte{1})[:6])                                                    // torn payload
+	f.Add(wire(fPublish, encodePublish(1, publishFrame{topic: "t", kind: 9, data: nil}))) // bad kind
+	f.Add(wire(fBatch, binary.AppendUvarint(seq(nil), ^uint64(0))))                       // absurd count
+	f.Add(wire(fUnsubscribe, append(binary.AppendUvarint(seq(nil), 1), 0xde, 0xad)))      // trailing bytes
+	two := append(wire(fPing, nil), wire(fAck, binary.AppendUvarint(nil, 1))...)
+	f.Add(two) // multiple frames per input
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := readFrame(r)
+			if err != nil {
+				if !errors.Is(err, errFrame) && !isIOErr(err) {
+					t.Fatalf("readFrame: unexpected error class: %v", err)
+				}
+				return
+			}
+			if err := parseFrame(typ, payload); err != nil && !errors.Is(err, errFrame) {
+				t.Fatalf("parseFrame(%d): unexpected error class: %v", typ, err)
+			}
+		}
+	})
+}
+
+func isIOErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,74 @@
+package ginflow
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestListenerWithRealWorkerBinary drives the full multi-machine shape
+// through the public API alone: build the actual ginflow-node command,
+// start a listening manager, let two worker processes join over TCP,
+// and run the diamond benchmark hosted entirely out-of-process.
+func TestListenerWithRealWorkerBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ginflow-node")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/ginflow-node").CombinedOutput(); err != nil {
+		t.Fatalf("build ginflow-node: %v\n%s", err, out)
+	}
+
+	cfg := testConfig(ExecutorSSH, BrokerActiveMQ)
+	m, err := New(
+		WithExecutor(cfg.Executor), WithBroker(cfg.Broker),
+		WithCluster(cfg.Cluster), WithTimeout(cfg.Timeout),
+		WithListener("127.0.0.1:0"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(bin,
+			"-addr", m.ListenerAddr(),
+			"-services", "split,work,merge",
+			"-task-duration", "0.1",
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.ConnectedNodes() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never joined (connected %d)", m.ConnectedNodes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	def := Diamond(DefaultDiamondSpec(3, 3, false))
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "split", "work", "merge")
+	h, err := m.Submit(context.Background(), def, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Statuses["MERGE"] != StatusCompleted {
+		t.Errorf("merge = %v", rep.Statuses["MERGE"])
+	}
+	if len(rep.Results["MERGE"]) != 1 {
+		t.Errorf("results = %v", rep.Results)
+	}
+}
