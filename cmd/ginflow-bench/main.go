@@ -22,7 +22,10 @@
 //
 // Times are model seconds (1 model second costs -scale of real time;
 // see DESIGN.md §1 for the substitution rationale). -quick shrinks the
-// sweeps for a fast sanity pass.
+// sweeps for a fast sanity pass. -virtual switches every run to the
+// discrete-event virtual clock: model time jumps straight between
+// timer deadlines, -scale is ignored, and same-seed runs report
+// bit-identical timings (see DESIGN.md "Virtual time").
 package main
 
 import (
@@ -57,6 +60,7 @@ func run() error {
 		fan      = flag.Int("fan", 1, "concurrent copies of each sweep size on the shared Manager (sweep only)")
 		jsonPath = flag.String("json", "", "write sweep results as JSON to this path (sweep only)")
 		chaosN   = flag.Int("chaos-seeds", 10, "seeded fault schedules to soak (chaos only)")
+		virtual  = flag.Bool("virtual", false, "discrete-event virtual clock: model time jumps between timer deadlines, -scale is ignored")
 	)
 	flag.Parse()
 
@@ -69,6 +73,7 @@ func run() error {
 		Timeout:      *timeout,
 		BrokerShards: *shards,
 		Fan:          *fan,
+		Virtual:      *virtual,
 	}
 	sweepSizes, err := parseSizes(*sizes)
 	if err != nil {

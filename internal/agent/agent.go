@@ -417,10 +417,10 @@ func (a *Agent) publishWithLatency(topic string, atoms []hocl.Atom, latency floa
 		_ = a.cfg.Broker.PublishAtoms(topic, atoms)
 		return
 	}
-	go func() {
+	a.clock().Go(func() {
 		a.clock().Sleep(latency)
 		_ = a.cfg.Broker.PublishAtoms(topic, atoms)
-	}()
+	})
 }
 
 // pushStatus publishes the task's current sub-solution to the shared
@@ -563,6 +563,9 @@ func (a *Agent) Run(ctx context.Context) error {
 		return err
 	}
 
+	if a.clock().Virtual() {
+		return a.runVirtual(ctx, sub)
+	}
 	batches := sub.Batches()
 	for {
 		select {
@@ -589,6 +592,35 @@ func (a *Agent) Run(ctx context.Context) error {
 			if err := a.reduce(); err != nil {
 				return err
 			}
+		}
+	}
+}
+
+// runVirtual is the receive→reduce loop on a discrete-event clock: the
+// agent goroutine is a schedule participant, so it consumes its inbox
+// with Subscription.Next (the wait for the head message's due instant
+// runs on the scheduler) instead of the drain goroutine behind Batches.
+func (a *Agent) runVirtual(ctx context.Context, sub *mq.Subscription) error {
+	for {
+		batch, err := sub.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return nil // subscription cancelled
+		}
+		for i := range batch {
+			a.ingest(batch[i])
+		}
+		// Absorb whatever else is already due before reducing, matching
+		// the real-mode burst drain.
+		for more := sub.TryNext(); more != nil; more = sub.TryNext() {
+			for i := range more {
+				a.ingest(more[i])
+			}
+		}
+		if err := a.reduce(); err != nil {
+			return err
 		}
 	}
 }

@@ -53,6 +53,11 @@ type Options struct {
 	// where shard count decides the wall-clock. Standalone sweeps run
 	// the copies sequentially, for an equal-work baseline.
 	Fan int
+	// Virtual runs every experiment on the discrete-event virtual clock
+	// (see internal/cluster): model time advances only at timer
+	// deadlines, so sweeps cost CPU rather than wall-clock and same-seed
+	// runs report bit-identical timings. Scale is ignored.
+	Virtual bool
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,7 @@ func (o Options) clusterConfig(nodes int, seed int64) cluster.Config {
 		CoresPerNode: 24,
 		Scale:        o.Scale,
 		Seed:         seed,
+		Virtual:      o.Virtual,
 	}
 }
 

@@ -21,11 +21,14 @@ import (
 // DefaultScale is the default real-time cost of one model second.
 const DefaultScale = time.Millisecond
 
-// Clock converts model time to scaled real time. The zero value is not
-// usable; use NewClock.
+// Clock converts model time to scaled real time — or, in virtual mode,
+// advances model time by discrete events without sleeping at all (see
+// vclock.go for the scheduling discipline). The zero value is not
+// usable; use NewClock or NewVirtualClock.
 type Clock struct {
 	scale time.Duration
 	start time.Time
+	v     *vsched // non-nil in virtual mode
 }
 
 // NewClock returns a clock charging `scale` of real time per model
@@ -37,12 +40,29 @@ func NewClock(scale time.Duration) *Clock {
 	return &Clock{scale: scale, start: time.Now()}
 }
 
+// NewVirtualClock returns a discrete-event clock: Sleep and SleepCtx
+// park the calling participant with the scheduler instead of sleeping
+// real time, and Now() jumps to the earliest pending deadline whenever
+// every participant is blocked. Goroutines using a virtual clock must
+// join the schedule via Enter/Go and only block through the clock (or a
+// Cond); see vclock.go.
+func NewVirtualClock() *Clock {
+	return &Clock{scale: DefaultScale, v: newVsched()}
+}
+
+// Virtual reports whether this is a discrete-event clock.
+func (c *Clock) Virtual() bool { return c.v != nil }
+
 // Scale returns the real-time cost of one model second.
 func (c *Clock) Scale() time.Duration { return c.scale }
 
 // Sleep blocks for the scaled equivalent of the given model seconds.
 // Negative or zero durations return immediately.
 func (c *Clock) Sleep(modelSeconds float64) {
+	if c.v != nil {
+		c.v.sleep(nil, modelSeconds)
+		return
+	}
 	if modelSeconds <= 0 {
 		return
 	}
@@ -54,6 +74,9 @@ func (c *Clock) Sleep(modelSeconds float64) {
 // workflow session release its agents without draining their in-flight
 // modelled invocations.
 func (c *Clock) SleepCtx(ctx context.Context, modelSeconds float64) error {
+	if c.v != nil {
+		return c.v.sleep(ctx, modelSeconds)
+	}
 	if modelSeconds <= 0 {
 		return ctx.Err()
 	}
@@ -67,9 +90,73 @@ func (c *Clock) SleepCtx(ctx context.Context, modelSeconds float64) error {
 	}
 }
 
-// Now returns the model seconds elapsed since the clock was created.
+// Now returns the model seconds elapsed since the clock was created
+// (virtual mode: the scheduler's current model time).
 func (c *Clock) Now() float64 {
+	if c.v != nil {
+		return c.v.nowModel()
+	}
 	return float64(time.Since(c.start)) / float64(c.scale)
+}
+
+// Enter joins the calling goroutine to a virtual clock's schedule as a
+// participant, blocking until it is granted the run token. A real-mode
+// clock ignores the call. Pair with Exit.
+func (c *Clock) Enter() {
+	if c.v != nil {
+		c.v.enter()
+	}
+}
+
+// Exit removes the calling participant from a virtual clock's schedule,
+// releasing the run token. After Exit the goroutine may block on
+// anything (real channels, WaitGroups) without stalling model time, and
+// may rejoin later with Enter. A real-mode clock ignores the call.
+func (c *Clock) Exit() {
+	if c.v != nil {
+		c.v.exit()
+	}
+}
+
+// Go spawns fn on a new goroutine. Under a virtual clock the goroutine
+// is registered as a schedule participant before Go returns (sibling
+// start order is the Go call order — deterministic); under a real clock
+// it is a plain `go fn()`.
+func (c *Clock) Go(fn func()) {
+	if c.v != nil {
+		c.v.goRun(fn)
+		return
+	}
+	go fn()
+}
+
+// Yield lets every other runnable participant proceed before the caller
+// continues (virtual mode; real mode is a no-op). Model time does not
+// advance: the caller re-queues behind the current ready set.
+func (c *Clock) Yield() {
+	if c.v != nil {
+		c.v.yield()
+	}
+}
+
+// AdvanceTo moves a virtual clock's model time forward by hand without
+// firing timers. It is meaningful only on a clock with no active
+// participants — unit tests driving Now() values directly. Real-mode
+// clocks and backwards targets ignore the call.
+func (c *Clock) AdvanceTo(t float64) {
+	if c.v != nil {
+		c.v.advanceTo(t)
+	}
+}
+
+// NewCond returns a scheduler-aware condition variable bound to a
+// virtual clock, or nil on a real-mode clock (callers keep their
+// channel-based paths there).
+func (c *Clock) NewCond() *Cond {
+	if c.v == nil {
+		return nil
+	}
+	return &Cond{v: c.v}
 }
 
 // Node is one machine of the simulated platform. The paper limits
@@ -139,6 +226,11 @@ type Config struct {
 	Scale time.Duration
 	// Seed makes the simulation reproducible (default 1).
 	Seed int64
+	// Virtual selects the discrete-event clock: modelled sleeps cost no
+	// real time, and Now() advances to the earliest pending deadline
+	// whenever every participant goroutine is blocked. Scale is ignored
+	// in virtual mode.
+	Virtual bool
 	// NodeSpecs, when non-empty, describes heterogeneous machines
 	// explicitly (e.g. loaded from a configuration file); it overrides
 	// Nodes and CoresPerNode.
@@ -181,9 +273,13 @@ type Cluster struct {
 // New builds a cluster from the config (zero values take defaults).
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	clock := NewClock(cfg.Scale)
+	if cfg.Virtual {
+		clock = NewVirtualClock()
+	}
 	c := &Cluster{
 		cfg:   cfg,
-		clock: NewClock(cfg.Scale),
+		clock: clock,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i := 0; i < cfg.Nodes; i++ {

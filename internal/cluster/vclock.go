@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Virtual time — a discrete-event scheduler behind the model Clock.
+//
+// In virtual mode the clock never sleeps real time. Instead, every
+// goroutine that takes part in a run is a *participant* in a
+// cooperative, single-run-token schedule: exactly one participant
+// executes at any instant, and every blocking boundary (modelled
+// sleeps, broker delivery waits, space condition waits) releases the
+// token back to the scheduler. When the ready queue is empty the
+// scheduler advances Now() to the earliest pending timer deadline and
+// fires it — ties break by timer registration order — so the whole
+// interleaving, and therefore every model-time stamp a run reports, is
+// a deterministic function of the call sequence.
+//
+// The token discipline is what makes this sound where a plain waiter
+// registry would not be: a goroutine woken through a Go channel
+// rendezvous is invisible to any registry and would leave a window in
+// which the system looks quiescent while work is still runnable,
+// advancing time early and nondeterministically. Here nothing runs
+// without holding the token, so "ready queue empty" *is* quiescence.
+// The cost of the discipline is that an accounting mistake manifests
+// as a deterministic hang (debuggable), never as a flaky timestamp.
+
+// waiter states. A waiter is created per blocking call, lives in at
+// most one of the timer heap / a Cond's list plus optionally the
+// interruptible list, and is granted the run token exactly once.
+const (
+	stBlocked = iota // parked on a timer deadline or a Cond
+	stQueued         // moved to the ready queue, awaiting the token
+	stGranted        // token sent; the goroutine is (about to be) running
+)
+
+type vwaiter struct {
+	seq   uint64        // registration order — the deterministic tie-breaker
+	at    float64       // timer deadline in model seconds (timer waiters)
+	grant chan struct{} // buffered(1); a send transfers the run token
+	state int
+
+	// interrupted reports that the waiter was woken by its context
+	// ending rather than by its timer/Cond. Written under the scheduler
+	// lock before the grant send, read by the woken goroutine after the
+	// grant receive.
+	interrupted bool
+	done        <-chan struct{} // ctx.Done(); nil when not interruptible
+}
+
+// timerHeap orders waiters by (deadline, registration seq).
+type timerHeap []*vwaiter
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(*vwaiter)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// vsched is the discrete-event scheduler state shared by one virtual
+// Clock and all its participants.
+type vsched struct {
+	mu      sync.Mutex
+	now     float64
+	seq     uint64
+	running bool // the run token is held by some participant
+	ready   []*vwaiter
+	timers  timerHeap
+	// intr lists waiters whose block can be broken by a context ending.
+	// Entries are swept (and stale ones compacted away) every time the
+	// scheduler is about to advance model time, and polled on a real
+	// timer when the schedule is otherwise idle, so even a stalled run
+	// can be torn down by a real-time timeout.
+	intr     []*vwaiter
+	idleArm  bool // an idle-poll AfterFunc is pending
+
+	// holder is the goroutine id of the current run-token holder, 0
+	// while the token is in flight or free. Blocking calls compare it
+	// against their own goid: a call from any other goroutine is an
+	// *outside* caller — it did not hold the token, must not free it,
+	// and joins the schedule only for the duration of its block (the
+	// token is handed straight back on wake). This is what makes
+	// clock.Sleep safe from goroutines that never entered the schedule,
+	// e.g. a journal retry backoff on the Submit caller's goroutine.
+	holder uint64
+}
+
+func newVsched() *vsched { return &vsched{} }
+
+// goid parses the current goroutine's id from its runtime.Stack header
+// ("goroutine N [...]"). ~1µs; only virtual-mode scheduler operations
+// pay it.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// claim records the calling goroutine as the token holder; called
+// immediately after every grant receive.
+func (v *vsched) claim(gid uint64) {
+	v.mu.Lock()
+	v.holder = gid
+	v.mu.Unlock()
+}
+
+// releaseLocked frees the run token and hands it to the next runnable
+// participant. Callers hold v.mu.
+func (v *vsched) releaseLocked() {
+	v.running = false
+	v.holder = 0
+	v.scheduleLocked()
+}
+
+func (v *vsched) newWaiter() *vwaiter {
+	v.seq++
+	return &vwaiter{seq: v.seq, grant: make(chan struct{}, 1), state: stBlocked}
+}
+
+// scheduleLocked hands the run token to the next runnable participant:
+// ready queue first (FIFO), else the earliest pending timer — advancing
+// model time to its deadline. Called with v.mu held and the token free.
+func (v *vsched) scheduleLocked() {
+	for {
+		if v.running {
+			return
+		}
+		if len(v.ready) > 0 {
+			w := v.ready[0]
+			v.ready = v.ready[1:]
+			if len(v.ready) == 0 {
+				v.ready = nil
+			}
+			w.state = stGranted
+			v.running = true
+			w.grant <- struct{}{}
+			return
+		}
+		// About to advance time: first honour any cancellations that
+		// already happened. A canceller necessarily held the token when
+		// it called cancel() (context cancellation is synchronous), so
+		// every relevant ctx is already Done here — no racing window.
+		if v.sweepCancelledLocked() {
+			continue
+		}
+		for v.timers.Len() > 0 {
+			w := heap.Pop(&v.timers).(*vwaiter)
+			if w.state != stBlocked {
+				continue // cancelled or already woken; heap entry is stale
+			}
+			if w.at > v.now {
+				v.now = w.at
+			}
+			w.state = stGranted
+			v.running = true
+			w.grant <- struct{}{}
+			return
+		}
+		// Idle. If interruptible waiters remain, a real-time timeout may
+		// still cancel them (a stalled run being torn down) — poll.
+		v.armIdlePollLocked()
+		return
+	}
+}
+
+// sweepCancelledLocked moves every interruptible waiter whose context
+// has ended to the ready queue, in registration order, and compacts
+// stale entries. Reports whether any waiter was moved.
+func (v *vsched) sweepCancelledLocked() bool {
+	var woken []*vwaiter
+	live := v.intr[:0]
+	for _, w := range v.intr {
+		if w.state != stBlocked {
+			continue // already fired or broadcast; drop the entry
+		}
+		select {
+		case <-w.done:
+			w.interrupted = true
+			w.state = stQueued
+			woken = append(woken, w)
+		default:
+			live = append(live, w)
+		}
+	}
+	for i := len(live); i < len(v.intr); i++ {
+		v.intr[i] = nil
+	}
+	v.intr = live
+	if len(woken) == 0 {
+		return false
+	}
+	sort.Slice(woken, func(i, j int) bool { return woken[i].seq < woken[j].seq })
+	v.ready = append(v.ready, woken...)
+	return true
+}
+
+// idlePollInterval is the real-time cadence at which an otherwise idle
+// virtual schedule re-checks interruptible waiters. It only matters for
+// stalled runs being cancelled from outside (e.g. a real-time session
+// timeout); healthy runs never go idle with waiters pending.
+const idlePollInterval = 2 * time.Millisecond
+
+func (v *vsched) armIdlePollLocked() {
+	if v.idleArm {
+		return
+	}
+	blocked := false
+	for _, w := range v.intr {
+		if w.state == stBlocked {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		return
+	}
+	v.idleArm = true
+	time.AfterFunc(idlePollInterval, func() {
+		v.mu.Lock()
+		v.idleArm = false
+		if !v.running && len(v.ready) == 0 && v.timers.Len() == 0 {
+			if v.sweepCancelledLocked() {
+				v.scheduleLocked()
+			} else {
+				v.armIdlePollLocked()
+			}
+		}
+		v.mu.Unlock()
+	})
+}
+
+// enter registers the calling goroutine as a participant and blocks
+// until it is granted the run token.
+func (v *vsched) enter() {
+	gid := goid()
+	v.mu.Lock()
+	w := v.newWaiter()
+	w.state = stQueued
+	v.ready = append(v.ready, w)
+	v.scheduleLocked()
+	v.mu.Unlock()
+	<-w.grant
+	v.claim(gid)
+}
+
+// exit releases the run token without re-queuing: the participant is
+// leaving the schedule.
+func (v *vsched) exit() {
+	v.mu.Lock()
+	v.releaseLocked()
+	v.mu.Unlock()
+}
+
+// goRun spawns fn as a new participant. The spawn is queued
+// synchronously (so sibling order is the call order); fn starts running
+// once the scheduler grants it the token.
+func (v *vsched) goRun(fn func()) {
+	v.mu.Lock()
+	w := v.newWaiter()
+	w.state = stQueued
+	v.ready = append(v.ready, w)
+	v.scheduleLocked() // no-op when the caller holds the token
+	v.mu.Unlock()
+	go func() {
+		<-w.grant
+		v.claim(goid())
+		fn()
+		v.exit()
+	}()
+}
+
+// yield moves the caller to the back of the ready queue, letting every
+// other runnable participant proceed first.
+func (v *vsched) yield() {
+	gid := goid()
+	v.mu.Lock()
+	w := v.newWaiter()
+	w.state = stQueued
+	v.ready = append(v.ready, w)
+	v.running = false
+	v.holder = 0
+	v.scheduleLocked()
+	v.mu.Unlock()
+	<-w.grant
+	v.claim(gid)
+}
+
+// sleep parks the caller until now+seconds, or until ctx ends.
+// Non-positive durations return immediately, matching the real clock.
+// ctx may be nil (uninterruptible).
+func (v *vsched) sleep(ctx context.Context, seconds float64) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if seconds <= 0 {
+		return nil
+	}
+	gid := goid()
+	v.mu.Lock()
+	isHolder := v.running && v.holder == gid
+	w := v.newWaiter()
+	w.at = v.now + seconds
+	heap.Push(&v.timers, w)
+	if ctx != nil && ctx.Done() != nil {
+		w.done = ctx.Done()
+		v.intr = append(v.intr, w)
+	}
+	if isHolder {
+		v.running = false
+		v.holder = 0
+	}
+	// An outside caller (no token held) leaves `running` alone: it joins
+	// the schedule for this block only and gives the token back on wake.
+	v.scheduleLocked()
+	v.mu.Unlock()
+	<-w.grant
+	if isHolder {
+		v.claim(gid)
+	} else {
+		v.mu.Lock()
+		v.releaseLocked()
+		v.mu.Unlock()
+	}
+	if w.interrupted {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func (v *vsched) nowModel() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// advanceTo moves model time forward by hand. Only meaningful on a
+// clock with no active participants (unit tests driving Now() values
+// directly); it does not fire timers.
+func (v *vsched) advanceTo(t float64) {
+	v.mu.Lock()
+	if t > v.now {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// Cond is a scheduler-aware condition variable for virtual mode: the
+// replacement for channel-based waits, which a single-token schedule
+// cannot express (an unbuffered rendezvous needs two goroutines
+// runnable at once). Wait releases the run token; Broadcast moves every
+// current waiter to the ready queue in wait order. Obtain one from
+// Clock.NewCond; in real mode NewCond returns nil and callers keep
+// their channel paths.
+type Cond struct {
+	v       *vsched
+	waiters []*vwaiter
+}
+
+// Wait releases the run token and parks the caller until Broadcast (or
+// ctx ending, which returns ctx.Err()). The caller must hold the run
+// token. Re-check the guarded condition on return, as with sync.Cond.
+func (cd *Cond) Wait(ctx context.Context) error {
+	v := cd.v
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	gid := goid()
+	v.mu.Lock()
+	isHolder := v.running && v.holder == gid
+	w := v.newWaiter()
+	cd.waiters = append(cd.waiters, w)
+	if ctx != nil && ctx.Done() != nil {
+		w.done = ctx.Done()
+		v.intr = append(v.intr, w)
+	}
+	if isHolder {
+		v.running = false
+		v.holder = 0
+	}
+	v.scheduleLocked()
+	v.mu.Unlock()
+	<-w.grant
+	if isHolder {
+		v.claim(gid)
+	} else {
+		v.mu.Lock()
+		v.releaseLocked()
+		v.mu.Unlock()
+	}
+	if w.interrupted {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Broadcast wakes every goroutine currently parked in Wait, in the
+// order they began waiting. The caller should hold the run token (a
+// participant); the wakes take effect when the token is next released.
+func (cd *Cond) Broadcast() {
+	v := cd.v
+	v.mu.Lock()
+	for _, w := range cd.waiters {
+		if w.state != stBlocked {
+			continue // already woken by cancellation
+		}
+		w.state = stQueued
+		v.ready = append(v.ready, w)
+	}
+	cd.waiters = cd.waiters[:0]
+	v.scheduleLocked() // no-op when the broadcaster holds the token
+	v.mu.Unlock()
+}

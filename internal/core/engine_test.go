@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -15,8 +16,16 @@ import (
 )
 
 // fastCluster keeps integration tests quick: 50 µs per model second.
+// Setting GINFLOW_VIRTUAL (any non-empty value) reruns the same tests
+// on the discrete-event virtual clock instead — CI uses this to soak
+// the chaos suite under both timing models.
 func fastCluster(nodes int) cluster.Config {
-	return cluster.Config{Nodes: nodes, CoresPerNode: 24, Scale: 50 * time.Microsecond}
+	return cluster.Config{
+		Nodes:        nodes,
+		CoresPerNode: 24,
+		Scale:        50 * time.Microsecond,
+		Virtual:      os.Getenv("GINFLOW_VIRTUAL") != "",
+	}
 }
 
 func diamondServices(reg *agent.Registry) *agent.Registry {

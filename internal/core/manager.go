@@ -40,6 +40,11 @@ var (
 	// ErrNoJournal reports a Recover call on a manager built without a
 	// journal directory.
 	ErrNoJournal = errors.New("manager has no journal")
+	// ErrVirtualListen reports a Listen address configured together with
+	// the virtual clock: out-of-process workers live on wall-clock time
+	// and cannot take part in a discrete-event schedule, so TCP mode
+	// requires the real clock.
+	ErrVirtualListen = errors.New("transport listener requires the real clock")
 )
 
 // Manager is the long-lived engine: it owns one simulated platform, one
@@ -123,6 +128,13 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Listen != "" {
 		if m.broker == nil {
 			return nil, fmt.Errorf("core: Listen %q: %w", cfg.Listen, ErrNoBroker)
+		}
+		if clus.Clock().Virtual() {
+			// Worker processes share real wall-clock time with the
+			// manager but cannot take part in its discrete-event
+			// schedule, so TCP mode keeps the real clock (see DESIGN.md
+			// "Virtual time").
+			return nil, fmt.Errorf("core: Listen %q: %w", cfg.Listen, ErrVirtualListen)
 		}
 		srv, err := transport.Listen(cfg.Listen, transport.ServerConfig{Broker: m.broker, Chaos: chaos})
 		if err != nil {
@@ -373,10 +385,12 @@ func (m *Manager) Submit(ctx context.Context, def *workflow.Definition, services
 		}
 	}
 
-	go func() {
+	// Under a virtual clock the session goroutine is a schedule
+	// participant (Clock.Go); in real mode this is a plain goroutine.
+	m.cluster.Clock().Go(func() {
 		defer m.wg.Done()
 		s.run(runCtx)
-	}()
+	})
 	return s, nil
 }
 

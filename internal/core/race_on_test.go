@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is compiled in; the
+// virtual-clock scale tests skip under it (10k-goroutine runs blow the
+// race job's time budget without adding coverage the smaller
+// determinism tests lack).
+const raceEnabled = true

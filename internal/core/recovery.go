@@ -198,10 +198,10 @@ func (m *Manager) recoverSession(ctx context.Context, st *journal.SessionState, 
 
 	s.recorder.Record(trace.SessionRecovered, "", 0,
 		fmt.Sprintf("replayed %d status records", st.StatusRecords))
-	go func() {
+	m.cluster.Clock().Go(func() {
 		defer m.wg.Done()
 		s.run(runCtx)
-	}()
+	})
 	return s, nil
 }
 

@@ -443,6 +443,7 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	// multiset (drops are deferred, never lost — FlushDeferred below
 	// drains the remainder so the run still converges).
 	sp := s.space
+	sp.SetClock(clock)
 	sp.SetChaos(s.mgr.chaos)
 	if err := sp.Attach(broker, spaceTopic); err != nil {
 		return nil, err
@@ -456,6 +457,13 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	spaceCtx, stopSpace := context.WithCancel(context.Background())
 	defer stopSpace()
 	spaceFailed := make(chan error, 1)
+	// waitCtx wakes the virtual-mode completion wait on failure: a
+	// single-token schedule cannot multi-select over channels, so every
+	// failure sender buffers its error and cancels this context, and the
+	// virtual waitErr path maps the wake back to the buffered cause.
+	// (Real mode keeps the channel select; cancelling is harmless there.)
+	waitCtx, failNow := context.WithCancel(ctx)
+	defer failNow()
 	// journalErr funnels write-through failures into the session's
 	// failure channel: durability was asked for, so a failing journal
 	// fails the session instead of silently degrading.
@@ -467,6 +475,7 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		case spaceFailed <- fmt.Errorf("journal write-through: %w", err):
 		default:
 		}
+		failNow()
 	}
 	serveSpace := func() error { return sp.Serve(spaceCtx, broker, spaceTopic) }
 	if s.jw != nil {
@@ -520,12 +529,13 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 			})
 		}
 	}
-	go func() {
+	clock.Go(func() {
 		err := serveSpace()
 		if err != nil && spaceCtx.Err() == nil {
 			spaceFailed <- err
+			failNow()
 		}
-	}()
+	})
 
 	// Deployment (§IV-C): claim resources, place agents. Injected
 	// deployment faults retry with backoff before giving up.
@@ -610,17 +620,42 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	} else {
 		for i, p := range placements {
 			wg.Add(1)
-			go func(p executor.Placement, first *agent.Agent) {
+			p, first := p, firstIncarnations[i]
+			clock.Go(func() {
 				defer wg.Done()
 				if err := sup.run(agentsCtx, p, first); err != nil && agentsCtx.Err() == nil {
 					errCh <- err
+					failNow()
 				}
-			}(p, firstIncarnations[i])
+			})
 		}
 	}
 
 	// Wait for the exit tasks to report completion in the space.
 	waitErr := func() error {
+		if clock.Virtual() {
+			// Participant path: WaitCompleted parks on the space Cond;
+			// failures wake it through waitCtx and are mapped back to
+			// their buffered cause here.
+			err := sp.WaitCompleted(waitCtx, def.Exits())
+			if err == nil {
+				return nil
+			}
+			select {
+			case e := <-errCh:
+				return fmt.Errorf("core: agent failed: %w", e)
+			default:
+			}
+			select {
+			case e := <-spaceFailed:
+				return fmt.Errorf("core: space failed: %w", e)
+			default:
+			}
+			if cause := classifyCause(context.Cause(ctx)); cause != nil {
+				return cause
+			}
+			return err
+		}
 		done := make(chan error, 1)
 		go func() { done <- sp.WaitCompleted(ctx, def.Exits()) }()
 		select {
@@ -641,7 +676,16 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 	}()
 	execTime := clock.Now() - execStart
 	stopAgents()
-	wg.Wait()
+	if clock.Virtual() {
+		// The agent participants need the run token to observe the
+		// cancellation and unwind; leave the schedule while they do,
+		// then rejoin for the settle drain and report assembly.
+		clock.Exit()
+		wg.Wait()
+		clock.Enter()
+	} else {
+		wg.Wait()
+	}
 	var remoteStats transport.NodeDone
 	if useRemote {
 		remoteStats = rh.stop()

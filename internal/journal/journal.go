@@ -347,6 +347,7 @@ func (w *SessionWriter) appendFrame(typ byte, payload []byte) error {
 	buf = binary.LittleEndian.AppendUint64(buf, frameFingerprint(typ, payload))
 	w.scratch = buf
 	rc := w.cfg.Retry.WithDefaults()
+	frameOwned := false
 	for attempt := 1; ; attempt++ {
 		n, err := w.writeFrame(buf)
 		if err == nil {
@@ -367,7 +368,21 @@ func (w *SessionWriter) appendFrame(typ byte, payload []byte) error {
 			return fmt.Errorf("journal: session %d: write after %d attempts: %w (%w)",
 				w.meta.ID, attempt, failure.ErrRetriesExhausted, err)
 		}
+		// The backoff must not hold w.mu: under a virtual clock the sleep
+		// parks this goroutine in the discrete-event schedule, and any
+		// other writer blocking on w.mu while holding the run token would
+		// wedge the whole schedule. Frames are self-contained, so another
+		// writer appending (or rotating) inside the window is harmless —
+		// but it reuses w.scratch, so take a private copy of the frame
+		// first (retries are chaos-only; the happy path stays
+		// allocation-free).
+		if !frameOwned {
+			buf = append([]byte(nil), buf...)
+			frameOwned = true
+		}
+		w.mu.Unlock()
 		w.cfg.Chaos.Sleep(rc.Delay(attempt))
+		w.mu.Lock()
 	}
 }
 
@@ -563,7 +578,11 @@ func (w *SessionWriter) rotateLocked(snapshot []hocl.Atom) error {
 
 func (w *SessionWriter) maybeSync() error {
 	if f := w.cfg.Chaos.Draw(failure.BoundaryJournalSync); f.Kind == failure.FaultSlow {
+		// Sleep outside w.mu — holding a real mutex across a virtual-clock
+		// sleep can wedge the discrete-event schedule (see appendFrame).
+		w.mu.Unlock()
 		w.cfg.Chaos.Sleep(f.Delay)
+		w.mu.Lock()
 	}
 	if !w.cfg.Sync || w.f == nil {
 		return nil

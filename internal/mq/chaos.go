@@ -1,8 +1,6 @@
 package mq
 
 import (
-	"time"
-
 	"ginflow/internal/failure"
 )
 
@@ -62,26 +60,30 @@ func (c *common) SetChaos(s *failure.Schedule) {
 //   - duplicate: deliver now and once more after the redelivery lag;
 //   - delay: push the due instant out by the drawn amount;
 //   - reorder: deliver, then swap with the queue predecessor.
-func (c *common) chaosEnqueue(ch *failure.Schedule, sub *subscriber, tm timedMsg, scale float64, attempt int) {
+func (c *common) chaosEnqueue(ch *failure.Schedule, sub *subscriber, tm timedMsg, attempt int) {
 	f := ch.Draw(failure.BoundaryMessage)
-	lag := time.Duration(ch.Config().RedeliverDelay * scale)
+	lag := ch.Config().RedeliverDelay // model seconds
 	switch f.Kind {
 	case failure.FaultDrop:
 		if attempt < maxRedeliveries {
-			go func() {
-				time.Sleep(lag)
-				c.chaosEnqueue(ch, sub, timedMsg{msg: tm.msg, due: time.Now()}, scale, attempt+1)
-			}()
+			// The redelivery timer runs on the broker clock: a plain
+			// goroutine sleeping scaled real time in real mode, a schedule
+			// participant in virtual mode — so chaos lags are drawn in
+			// virtual time and stay deterministic.
+			c.clock.Go(func() {
+				c.clock.Sleep(lag)
+				c.chaosEnqueue(ch, sub, timedMsg{msg: tm.msg, due: c.clock.Now()}, attempt+1)
+			})
 			return
 		}
 		// Redelivery budget spent: the middleware pushes it through.
 	case failure.FaultDuplicate:
-		go func() {
-			time.Sleep(lag)
-			sub.enqueue(timedMsg{msg: tm.msg, due: time.Now()})
-		}()
+		c.clock.Go(func() {
+			c.clock.Sleep(lag)
+			sub.enqueue(timedMsg{msg: tm.msg, due: c.clock.Now()})
+		})
 	case failure.FaultDelay:
-		tm.due = tm.due.Add(time.Duration(f.Delay * scale))
+		tm.due += f.Delay
 	case failure.FaultReorder:
 		sub.enqueue(tm)
 		sub.swapTail()

@@ -38,13 +38,13 @@
 package mq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"ginflow/internal/cluster"
 	"ginflow/internal/failure"
@@ -176,10 +176,16 @@ const subscriberBuffer = 4096
 // ErrClosed is returned by operations on a closed broker.
 var ErrClosed = fmt.Errorf("mq: broker closed")
 
-// timedMsg pairs a message with its earliest real-time delivery instant.
+// ErrCancelled is returned by Next on a cancelled subscription.
+var ErrCancelled = fmt.Errorf("mq: subscription cancelled")
+
+// timedMsg pairs a message with its earliest delivery instant in model
+// seconds on the broker's clock. Real-mode consumers convert the model
+// instant back to a scaled real-time wait; virtual-mode consumers hand
+// it to the discrete-event scheduler.
 type timedMsg struct {
 	msg Message
-	due time.Time
+	due float64
 }
 
 // shard is one independent partition of the broker: its own subscriber
@@ -191,11 +197,11 @@ type shard struct {
 
 	// qmu serialises the occupancy bookkeeping of this shard: a shard
 	// models one middleware instance (partition), so its messages queue
-	// behind each other. nextFree is the real-time instant the shard
+	// behind each other. nextFree is the model-time instant the shard
 	// finishes its current backlog. The per-topic publish counters
 	// piggyback on the same critical section.
 	qmu      sync.Mutex
-	nextFree time.Time
+	nextFree float64
 	perTopic map[string]int64
 }
 
@@ -270,6 +276,16 @@ func (c *common) ShardCount() int { return len(c.shards) }
 type subscriber struct {
 	id int64
 
+	// clock translates model due instants into waits: a scaled real
+	// sleep in real mode, a scheduler timer in virtual mode. nil for
+	// push-fed subscriptions, whose messages are always already due.
+	clock *cluster.Clock
+	// vcond, set when the clock is virtual, signals "queue became
+	// non-empty" to a participant parked in Next. Virtual subscribers
+	// have no drain goroutine: delivery happens inside the consumer's
+	// Next/TryNext calls, keeping the single-run-token schedule sound.
+	vcond *cluster.Cond
+
 	mu    sync.Mutex
 	queue []timedMsg
 	spare []timedMsg // recycled backing array for queue swaps
@@ -295,6 +311,10 @@ func (s *subscriber) enqueue(tm timedMsg) {
 	s.mu.Lock()
 	s.queue = append(s.queue, tm)
 	s.mu.Unlock()
+	if s.vcond != nil {
+		s.vcond.Broadcast()
+		return
+	}
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -352,12 +372,15 @@ func (s *subscriber) drain() {
 // due boundaries; it reports false when the subscription was cancelled.
 func (s *subscriber) flush(batch []timedMsg) bool {
 	for len(batch) > 0 {
-		if d := time.Until(batch[0].due); d > 0 {
-			time.Sleep(d)
+		var now float64
+		if s.clock != nil {
+			if d := batch[0].due - s.clock.Now(); d > 0 {
+				s.clock.Sleep(d)
+			}
+			now = s.clock.Now()
 		}
-		now := time.Now()
 		cut := 1
-		for cut < len(batch) && !batch[cut].due.After(now) {
+		for cut < len(batch) && batch[cut].due <= now {
 			cut++
 		}
 		buf := s.bufs[s.cur][:0]
@@ -420,16 +443,116 @@ func (s *Subscription) C() <-chan Message {
 // never closed; consumers select against their own shutdown signal.
 func (s *Subscription) Batches() <-chan []Message { return s.sub.out }
 
+// Next blocks until at least one message is due and returns every due
+// pending message as one batch, in delivery order. It is the consumer
+// call for virtual-clock brokers, where there is no drain goroutine:
+// the caller must be a schedule participant, and the wait for the head
+// message's due instant runs on the discrete-event scheduler (so model
+// time advances exactly to it). On a real-clock broker Next also works
+// — it waits on the subscriber queue directly — but C/Batches and Next
+// must not be mixed on one subscription. The returned slice is owned by
+// the caller.
+func (s *Subscription) Next(ctx context.Context) ([]Message, error) {
+	sub := s.sub
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		select {
+		case <-sub.done:
+			return nil, ErrCancelled
+		default:
+		}
+		var now float64
+		if sub.clock != nil {
+			now = sub.clock.Now()
+		}
+		sub.mu.Lock()
+		if len(sub.queue) > 0 {
+			head := sub.queue[0].due
+			if head <= now || sub.clock == nil {
+				batch := sub.takeDueLocked(now)
+				sub.mu.Unlock()
+				return batch, nil
+			}
+			sub.mu.Unlock()
+			if err := sub.clock.SleepCtx(ctx, head-now); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sub.mu.Unlock()
+		if sub.vcond != nil {
+			if err := sub.vcond.Wait(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Real clock: wait for the enqueue signal.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-sub.done:
+			return nil, ErrCancelled
+		case <-sub.wake:
+		}
+	}
+}
+
+// TryNext returns every pending message already due as one batch, or
+// nil when nothing is due yet. It never blocks and never advances model
+// time. The returned slice is owned by the caller.
+func (s *Subscription) TryNext() []Message {
+	sub := s.sub
+	var now float64
+	if sub.clock != nil {
+		now = sub.clock.Now()
+	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if len(sub.queue) == 0 || (sub.clock != nil && sub.queue[0].due > now) {
+		return nil
+	}
+	return sub.takeDueLocked(now)
+}
+
+// takeDueLocked removes and returns the due prefix of the pending
+// queue. Caller holds sub.mu and has checked the head is due.
+func (sub *subscriber) takeDueLocked(now float64) []Message {
+	cut := 1
+	if sub.clock != nil {
+		for cut < len(sub.queue) && sub.queue[cut].due <= now {
+			cut++
+		}
+	} else {
+		cut = len(sub.queue)
+	}
+	batch := make([]Message, cut)
+	for i := 0; i < cut; i++ {
+		batch[i] = sub.queue[i].msg
+	}
+	n := copy(sub.queue, sub.queue[cut:])
+	for i := n; i < len(sub.queue); i++ {
+		sub.queue[i] = timedMsg{}
+	}
+	sub.queue = sub.queue[:n]
+	return batch
+}
+
 // Cancel detaches the consumer; pending deliveries are dropped, which is
 // how a crashed agent loses its in-flight messages on a queue broker.
 func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
 
 func (c *common) Subscribe(topic string) (*Subscription, error) {
 	sub := &subscriber{
-		id:   c.nextID.Add(1),
-		wake: make(chan struct{}, 1),
-		out:  make(chan []Message),
-		done: make(chan struct{}),
+		id:    c.nextID.Add(1),
+		clock: c.clock,
+		wake:  make(chan struct{}, 1),
+		out:   make(chan []Message),
+		done:  make(chan struct{}),
+	}
+	if c.clock.Virtual() {
+		sub.vcond = c.clock.NewCond()
 	}
 	sh := c.shardFor(topic)
 	// The closed-check must stay atomic with registration (a concurrent
@@ -445,7 +568,9 @@ func (c *common) Subscribe(topic string) (*Subscription, error) {
 	sh.subs[topic] = append(sh.subs[topic], sub)
 	sh.mu.Unlock()
 	c.mu.RUnlock()
-	go sub.drain()
+	if sub.vcond == nil {
+		go sub.drain()
+	}
 	return &Subscription{
 		sub: sub,
 		cancel: func() {
@@ -477,10 +602,11 @@ func NewPushSubscription(onCancel func()) (*Subscription, func(msgs []Message)) 
 	}
 	go sub.drain()
 	push := func(msgs []Message) {
-		now := time.Now()
 		sub.mu.Lock()
 		for i := range msgs {
-			sub.queue = append(sub.queue, timedMsg{msg: msgs[i], due: now})
+			// due 0: already elapsed (the subscriber has no clock; flush
+			// treats every message as due).
+			sub.queue = append(sub.queue, timedMsg{msg: msgs[i]})
 		}
 		sub.mu.Unlock()
 		select {
@@ -520,16 +646,15 @@ func (c *common) removeSub(sh *shard, topic string, id int64) {
 // batch hand-off.
 func (c *common) deliver(msg Message) {
 	sh := c.shardFor(msg.Topic)
-	scale := float64(c.clock.Scale())
 	svc := math.Float64frombits(c.svcTime.Load())
-	now := time.Now()
+	now := c.clock.Now()
 	sh.qmu.Lock()
 	start := now
-	if sh.nextFree.After(now) {
+	if sh.nextFree > now {
 		start = sh.nextFree
 	}
-	sh.nextFree = start.Add(time.Duration(svc * scale))
-	due := sh.nextFree.Add(time.Duration(c.latency * scale))
+	sh.nextFree = start + svc
+	due := sh.nextFree + c.latency
 	sh.perTopic[msg.Topic]++
 	sh.qmu.Unlock()
 
@@ -541,7 +666,7 @@ func (c *common) deliver(msg Message) {
 			sub.enqueue(tm)
 			continue
 		}
-		c.chaosEnqueue(ch, sub, tm, scale, 0)
+		c.chaosEnqueue(ch, sub, tm, 0)
 	}
 	sh.mu.RUnlock()
 }

@@ -1,6 +1,7 @@
 package mq
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,13 +11,31 @@ import (
 	"ginflow/internal/hocl"
 )
 
+// testClock is the discrete-event virtual clock: latency modelling
+// stays active (messages fall due at modelled instants) but no real
+// time passes — consumers pull via Next and the clock jumps straight to
+// each due instant. Tests exercising the real-clock drain path build
+// their own cluster.NewClock.
 func testClock() *cluster.Clock {
-	// 10 µs per model second keeps latency modelling active but tests fast.
-	return cluster.NewClock(10 * time.Microsecond)
+	return cluster.NewVirtualClock()
 }
 
+// recvOne fetches the next delivered message: pulling (Next) on a
+// virtual-clock subscription, draining C() on a real-clock one.
 func recvOne(t *testing.T, sub *Subscription) Message {
 	t.Helper()
+	if sub.sub.clock != nil && sub.sub.clock.Virtual() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		batch, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("waiting for message: %v", err)
+		}
+		if len(batch) != 1 {
+			t.Fatalf("expected a single due message, got %d", len(batch))
+		}
+		return batch[0]
+	}
 	select {
 	case m := <-sub.C():
 		return m
@@ -63,10 +82,8 @@ func TestTopicIsolation(t *testing.T) {
 				t.Fatal(err)
 			}
 			recvOne(t, s1)
-			select {
-			case m := <-s2.C():
+			if m := s2.TryNext(); m != nil {
 				t.Errorf("topic b received %+v", m)
-			case <-time.After(50 * time.Millisecond):
 			}
 		})
 	}
@@ -95,10 +112,8 @@ func TestCancelStopsDelivery(t *testing.T) {
 			if err := b.Publish("t", "m"); err != nil {
 				t.Fatal(err)
 			}
-			select {
-			case m := <-sub.C():
-				t.Errorf("cancelled subscription received %+v", m)
-			case <-time.After(50 * time.Millisecond):
+			if _, err := sub.Next(context.Background()); err != ErrCancelled {
+				t.Errorf("cancelled subscription: Next = %v, want ErrCancelled", err)
 			}
 		})
 	}
@@ -128,10 +143,8 @@ func TestQueueBrokerIsVolatile(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub, _ := b.Subscribe("t")
-	select {
-	case m := <-sub.C():
+	if m := sub.TryNext(); m != nil {
 		t.Errorf("late subscriber received %+v", m)
-	case <-time.After(50 * time.Millisecond):
 	}
 }
 
@@ -207,7 +220,10 @@ func TestNewBrokerKinds(t *testing.T) {
 }
 
 func TestConcurrentPublishersAndSubscribers(t *testing.T) {
-	b := NewLogBroker(testClock(), 0.0001)
+	// A real clock on purpose: this soaks the concurrent publish path
+	// against the push-drain goroutines, which virtual mode (pull
+	// consumers, one-at-a-time schedule) replaces by design.
+	b := NewLogBroker(cluster.NewClock(10*time.Microsecond), 0.0001)
 	const (
 		topics     = 8
 		publishers = 4
@@ -271,7 +287,7 @@ func TestPublishAtomsDeliversStructurally(t *testing.T) {
 			if err := b.PublishAtoms("sa.T1", payload); err != nil {
 				t.Fatal(err)
 			}
-			m := <-sub.C()
+			m := recvOne(t, sub)
 			if !m.Structural() {
 				t.Fatal("message is not structural")
 			}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ginflow/internal/cluster"
 	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
 	"ginflow/internal/hoclflow"
@@ -79,6 +80,12 @@ type Space struct {
 	tasks     map[string]*taskState // task name -> latest sub-solution
 	markers   []hocl.Atom           // TRIGGER markers and other global molecules
 	changed   chan struct{}
+	// cond, set by SetClock on a virtual clock, is the scheduler-aware
+	// update signal: a single-run-token schedule cannot express the
+	// changed-channel rendezvous, so virtual-mode waiters park on the
+	// Cond and every update broadcasts it (alongside the channel, which
+	// real-mode waiters keep using).
+	cond *cluster.Cond
 	updates   int64
 	malformed int
 
@@ -223,6 +230,22 @@ func (s *Space) bump() {
 	s.updates++
 	close(s.changed)
 	s.changed = make(chan struct{})
+	if s.cond != nil {
+		s.cond.Broadcast()
+	}
+}
+
+// SetClock tells the space which model clock its session runs on. On a
+// virtual clock this installs the scheduler-aware wait path
+// (WaitCompleted parks on a Cond instead of the changed channel, and
+// Serve consumes through Subscription.Next); a real clock is a no-op.
+// Call before Serve or WaitCompleted.
+func (s *Space) SetClock(clock *cluster.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if clock.Virtual() && s.cond == nil {
+		s.cond = clock.NewCond()
+	}
 }
 
 // Updates returns the number of updates applied so far.
@@ -359,6 +382,23 @@ func (s *Space) waitCh() <-chan struct{} {
 // WaitCompleted blocks until every named task reports StatusCompleted, or
 // the context ends.
 func (s *Space) WaitCompleted(ctx context.Context, names []string) error {
+	s.mu.Lock()
+	cond := s.cond
+	s.mu.Unlock()
+	if cond != nil {
+		// Virtual clock: the caller is a schedule participant; park on
+		// the Cond so the run token is released while waiting. The
+		// single-token schedule means no update can slip in between the
+		// completion check and the wait.
+		for {
+			if s.allCompleted(names) {
+				return nil
+			}
+			if err := cond.Wait(ctx); err != nil {
+				return err
+			}
+		}
+	}
 	for {
 		if s.allCompleted(names) {
 			return nil
@@ -434,8 +474,12 @@ func (s *Space) ServeHooked(ctx context.Context, broker mq.Broker, topic string,
 	}
 	s.mu.Lock()
 	sub := s.sub
+	cond := s.cond
 	s.mu.Unlock()
 	defer sub.Cancel()
+	if cond != nil {
+		return s.serveVirtual(ctx, sub, before, after)
+	}
 	batches := sub.Batches()
 	// Under chaos, a ticker drains held-back messages so a deferral
 	// during the final quiet period cannot stall convergence.
@@ -460,6 +504,42 @@ func (s *Space) ServeHooked(ctx context.Context, broker mq.Broker, topic string,
 			if after != nil {
 				after()
 			}
+		}
+	}
+}
+
+// serveVirtual is the consume loop on a discrete-event clock: the
+// serving goroutine is a schedule participant, so it receives through
+// Subscription.Next instead of the drain goroutine behind Batches.
+// Chaos-deferred messages are flushed whenever the inbox runs dry —
+// the virtual-time equivalent of the real-mode ticker: a held-back
+// message rejoins as soon as the space would otherwise go quiet, so a
+// deferral can never stall convergence.
+func (s *Space) serveVirtual(ctx context.Context, sub *mq.Subscription, before func([]mq.Message), after func()) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			s.FlushDeferred()
+			return err
+		}
+		batch := sub.TryNext()
+		if batch == nil {
+			s.FlushDeferred()
+			var err error
+			batch, err = sub.Next(ctx)
+			if err != nil {
+				s.FlushDeferred()
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
+		}
+		if before != nil {
+			before(batch)
+		}
+		s.applyBatchChaos(batch)
+		if after != nil {
+			after()
 		}
 	}
 }
@@ -619,6 +699,9 @@ func (s *Space) finishApplyLocked(applied int64) {
 	s.updates += applied
 	close(s.changed)
 	s.changed = make(chan struct{})
+	if s.cond != nil {
+		s.cond.Broadcast()
+	}
 }
 
 func (s *Space) applyMessageLocked(msg mq.Message, applied *int64) bool {

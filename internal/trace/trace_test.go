@@ -3,12 +3,13 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"ginflow/internal/cluster"
 )
 
-// fakeClock is a settable model clock.
-type fakeClock struct{ t float64 }
-
-func (c *fakeClock) Now() float64 { return c.t }
+// The tests drive model time through a participant-less virtual clock:
+// AdvanceTo moves Now() forward by hand (the unit-test face of the
+// discrete-event scheduler; see internal/cluster).
 
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
@@ -22,18 +23,18 @@ func TestNilRecorderIsSafe(t *testing.T) {
 }
 
 func TestRecordAndQuery(t *testing.T) {
-	clock := &fakeClock{}
+	clock := cluster.NewVirtualClock()
 	r := NewRecorder(clock)
 
-	clock.t = 1
+	clock.AdvanceTo(1)
 	r.Record(AgentStarted, "T1", 0, "")
-	clock.t = 2
+	clock.AdvanceTo(2)
 	r.Record(ServiceInvoked, "T1", 0, "s1")
-	clock.t = 5
+	clock.AdvanceTo(5)
 	r.Record(ServiceCompleted, "T1", 0, "s1")
-	clock.t = 6
+	clock.AdvanceTo(6)
 	r.Record(ResultSent, "T1", 0, "T2")
-	clock.t = 7
+	clock.AdvanceTo(7)
 	r.Record(TaskCompleted, "T2", 0, "")
 
 	if r.Len() != 5 {
@@ -57,24 +58,24 @@ func TestRecordAndQuery(t *testing.T) {
 }
 
 func TestSpans(t *testing.T) {
-	clock := &fakeClock{}
+	clock := cluster.NewVirtualClock()
 	r := NewRecorder(clock)
 
 	// Incarnation 0 invokes at t=1 and crashes (no completion).
-	clock.t = 1
+	clock.AdvanceTo(1)
 	r.Record(ServiceInvoked, "T1", 0, "s")
-	clock.t = 2
+	clock.AdvanceTo(2)
 	r.Record(AgentCrashed, "T1", 0, "s")
-	// Incarnation 1 replays: invokes at t=4, completes at t=9.
-	clock.t = 4
+	// Incarnation 1 replays: invokes at t=4, completes at t=9 — with
+	// another task erroring at t=5..6 in between.
+	clock.AdvanceTo(4)
 	r.Record(ServiceInvoked, "T1", 1, "s")
-	clock.t = 9
-	r.Record(ServiceCompleted, "T1", 1, "s")
-	// Another task errors.
-	clock.t = 5
+	clock.AdvanceTo(5)
 	r.Record(ServiceInvoked, "T2", 0, "flaky")
-	clock.t = 6
+	clock.AdvanceTo(6)
 	r.Record(ServiceErrored, "T2", 0, "flaky")
+	clock.AdvanceTo(9)
+	r.Record(ServiceCompleted, "T1", 1, "s")
 
 	spans := r.Spans()
 	if len(spans) != 2 {
@@ -89,7 +90,8 @@ func TestSpans(t *testing.T) {
 }
 
 func TestWriteTimeline(t *testing.T) {
-	clock := &fakeClock{t: 3.5}
+	clock := cluster.NewVirtualClock()
+	clock.AdvanceTo(3.5)
 	r := NewRecorder(clock)
 	r.Record(AgentStarted, "T1", 2, "detail")
 	var b strings.Builder
@@ -107,7 +109,7 @@ func TestWriteTimeline(t *testing.T) {
 // TestSinkFanOut: sinks observe every recorded event live; a
 // forward-only recorder streams without retaining.
 func TestSinkFanOut(t *testing.T) {
-	r := NewRecorder(&fakeClock{})
+	r := NewRecorder(cluster.NewVirtualClock())
 	var got1, got2 []Event
 	r.AddSink(func(e Event) { got1 = append(got1, e) })
 	r.AddSink(func(e Event) { got2 = append(got2, e) })
@@ -123,7 +125,7 @@ func TestSinkFanOut(t *testing.T) {
 		t.Errorf("retained = %d", r.Len())
 	}
 
-	f := NewForwarder(&fakeClock{})
+	f := NewForwarder(cluster.NewVirtualClock())
 	var streamed int
 	f.AddSink(func(Event) { streamed++ })
 	f.Record(AgentStarted, "T1", 0, "")
@@ -141,7 +143,7 @@ func TestSinkFanOut(t *testing.T) {
 }
 
 func TestRecorderConcurrency(t *testing.T) {
-	r := NewRecorder(&fakeClock{})
+	r := NewRecorder(cluster.NewVirtualClock())
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func() {
