@@ -271,11 +271,20 @@ func (s *Solution) RemoveIndices(idx []int) {
 	if len(idx) == 0 {
 		return
 	}
-	sorted := slices.Clone(idx)
-	slices.Sort(sorted)
+	s.removeSortedInPlace(slices.Clone(idx))
+}
+
+// removeSortedInPlace is RemoveIndices for a caller-owned index slice:
+// it sorts idx in place instead of cloning, so the reduction hot loop
+// can reuse one scratch buffer across firings.
+func (s *Solution) removeSortedInPlace(idx []int) {
+	if len(idx) == 0 {
+		return
+	}
+	slices.Sort(idx)
 	// Remove back to front so earlier indices stay valid.
-	for k := len(sorted) - 1; k >= 0; k-- {
-		i := sorted[k]
+	for k := len(idx) - 1; k >= 0; k-- {
+		i := idx[k]
 		s.elems = append(s.elems[:i], s.elems[i+1:]...)
 	}
 	s.mutated()

@@ -1,0 +1,291 @@
+package hocl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// FuzzExprDifferential proves the compiled expression machine
+// (ecompile.go + evm.go) equivalent to the tree-walking evaluator over
+// randomized expression trees, bindings and function registries: same
+// produced atoms in the same order, same errors (message, source node,
+// wrapped cause), and the same guard verdict — including the
+// guard-error-means-false semantics documented on EvalGuard, which the
+// quiet machine mode implements without allocating. The seed corpus runs
+// in every plain `go test` (and under -race in CI); this test is what
+// licenses routing the reduction hot path through the machine while the
+// tree-walker stays as the oracle.
+func FuzzExprDifferential(f *testing.F) {
+	for seed := int64(0); seed < 64; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		funcs := exprFuzzFuncs()
+		for round := 0; round < 8; round++ {
+			env := genExprEnv(rng)
+			products := make([]Expr, 1+rng.Intn(3))
+			for i := range products {
+				products[i] = genExpr(rng, 2)
+			}
+			reg := funcs
+			if rng.Intn(8) == 0 {
+				reg = nil // exercise the no-registry error class
+			}
+			compareExprPaths(t, products, env, reg)
+		}
+	})
+}
+
+// compareExprPaths runs one product list through the tree-walker and the
+// compiled machine and requires identical results: atoms, errors and the
+// guard verdict of the first expression.
+func compareExprPaths(t *testing.T, products []Expr, env *Binding, funcs *Funcs) {
+	t.Helper()
+	describe := func() string {
+		parts := make([]string, len(products))
+		for i, e := range products {
+			parts[i] = e.String()
+		}
+		return fmt.Sprintf("products %v", parts)
+	}
+
+	want, werr := EvalElems(products, env, funcs)
+	var vm evalVM
+	prog := compileProducts(products)
+	got, gerr := vm.evalProducts(prog, env, funcs)
+
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: compiled err %v, walker err %v", describe(), gerr, werr)
+	}
+	if werr != nil {
+		if gerr.Error() != werr.Error() {
+			t.Fatalf("%s: error mismatch\ncompiled: %s\nwalker:   %s", describe(), gerr, werr)
+		}
+		var ge, we *EvalError
+		if !errors.As(gerr, &ge) || !errors.As(werr, &we) {
+			t.Fatalf("%s: non-EvalError (compiled %T, walker %T)", describe(), gerr, werr)
+		}
+		if ge.Expr != we.Expr || ge.Msg != we.Msg {
+			t.Fatalf("%s: EvalError fields differ: compiled {%s %q}, walker {%s %q}",
+				describe(), ge.Expr, ge.Msg, we.Expr, we.Msg)
+		}
+		if (ge.Err == nil) != (we.Err == nil) || (we.Err != nil && ge.Err.Error() != we.Err.Error()) {
+			t.Fatalf("%s: wrapped cause differs: compiled %v, walker %v", describe(), ge.Err, we.Err)
+		}
+		// Functions build a fresh error value per call, so cause
+		// identity across the two evaluations only holds for stable
+		// sentinels — which is exactly what callers unwrap.
+		if errors.Is(werr, errExprFuzz) != errors.Is(gerr, errExprFuzz) {
+			t.Fatalf("%s: sentinel cause lost: compiled %v, walker %v", describe(), gerr, werr)
+		}
+	} else {
+		if len(got) != len(want) {
+			t.Fatalf("%s: compiled %d atoms, walker %d (%v vs %v)",
+				describe(), len(got), len(want), got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) || got[i].String() != want[i].String() {
+				t.Fatalf("%s: atom %d: compiled %v, walker %v", describe(), i, got[i], want[i])
+			}
+		}
+	}
+
+	// Guard verdict of the first expression, re-evaluated with both
+	// paths: errors must fold to false identically.
+	if gv, wv := vm.evalGuard(compileGuard(products[0]), env, funcs), EvalGuard(products[0], env, funcs); gv != wv {
+		t.Fatalf("guard %s: compiled %v, walker %v", products[0], gv, wv)
+	}
+}
+
+// errExprFuzz is the fixed cause returned by the fuzz registry's
+// erroring function, so cause propagation is covered differentially.
+var errExprFuzz = errors.New("fuzz: injected function failure")
+
+// exprFuzzFuncs returns the built-ins plus fuzz-specific functions:
+// pair returns its (pooled) argument window unchanged — the aliasing
+// case the machine's truncate-then-push must survive — and explode
+// always fails with a stable cause.
+func exprFuzzFuncs() *Funcs {
+	funcs := NewFuncs()
+	funcs.Register("pair", func(args []Atom) ([]Atom, error) { return args, nil })
+	funcs.Register("explode", func([]Atom) ([]Atom, error) { return nil, errExprFuzz })
+	return funcs
+}
+
+// genExprEnv draws a random binding: scalar names x/y/z and omega names
+// w/v are each bound most of the time (leaving some unbound so the
+// unbound-variable classes fire), over the same tiny atom domains as the
+// matcher fuzz so kind collisions are common.
+func genExprEnv(rng *rand.Rand) *Binding {
+	env := NewBinding()
+	for _, n := range []string{"x", "y", "z"} {
+		if rng.Intn(4) > 0 {
+			env.bindAtom(n, genEAtom(rng, 2))
+		}
+	}
+	for _, n := range []string{"w", "v"} {
+		if rng.Intn(4) > 0 {
+			rest := make([]Atom, rng.Intn(3))
+			for i := range rest {
+				rest[i] = genEAtom(rng, 1)
+			}
+			env.bindRest(n, rest)
+		}
+	}
+	return env
+}
+
+// genEAtom extends the matcher fuzz's atom generator with floats, which
+// matter here for the int→float promotion and float-operator error paths.
+func genEAtom(rng *rand.Rand, depth int) Atom {
+	if rng.Intn(6) == 0 {
+		return Float([]float64{-1.5, 0, 0.5, 2}[rng.Intn(4)])
+	}
+	return genMatchAtom(rng, depth)
+}
+
+// genExpr draws a random expression over tiny domains: a shared variable
+// pool (x/y/z scalar, w/v omega, u never bound), every operator
+// including the short-circuit pair, calls into the fuzz registry
+// (including an unregistered name), and all three constructors. Small
+// domains make collisions — type errors, splices into tuples, unbound
+// names — the common case rather than the corner case.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	top := 11
+	if depth <= 0 {
+		top = 4
+	}
+	switch rng.Intn(top) {
+	case 0, 1:
+		return &ELit{Val: genEAtom(rng, depth)}
+	case 2:
+		return &EVar{Name: []string{"x", "y", "z", "u"}[rng.Intn(4)]}
+	case 3:
+		return &EVar{Name: []string{"w", "v", "u"}[rng.Intn(3)], Omega: true}
+	case 4, 5:
+		return &EBinop{Op: ops[rng.Intn(len(ops))], L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 6:
+		return &EUnop{Op: []string{"-", "!"}[rng.Intn(2)], X: genExpr(rng, depth-1)}
+	case 7:
+		fns := []string{"list", "len", "head", "str", "pair", "explode", "nope"}
+		args := make([]Expr, rng.Intn(3))
+		for i := range args {
+			args[i] = genExpr(rng, depth-1)
+		}
+		return &ECall{Fn: fns[rng.Intn(len(fns))], Args: args}
+	case 8:
+		// Arity 0..2 on purpose: with splices the element count is only
+		// known at runtime, which is exactly the tuple-arity error path.
+		elems := make([]Expr, rng.Intn(3))
+		for i := range elems {
+			elems[i] = genExpr(rng, depth-1)
+		}
+		return &ETuple{Elems: elems}
+	case 9:
+		elems := make([]Expr, rng.Intn(3))
+		for i := range elems {
+			elems[i] = genExpr(rng, depth-1)
+		}
+		return &EList{Elems: elems}
+	default:
+		elems := make([]Expr, rng.Intn(3))
+		for i := range elems {
+			elems[i] = genExpr(rng, depth-1)
+		}
+		return &ESolution{Elems: elems}
+	}
+}
+
+// TestExprDifferentialScenarios is the curated corpus behind the fuzz:
+// the cases named by the refactor's contract, kept as deterministic
+// tests so they run on every plain `go test` and under -race in CI.
+func TestExprDifferentialScenarios(t *testing.T) {
+	funcs := exprFuzzFuncs()
+
+	t.Run("getMax guard error means false", func(t *testing.T) {
+		// §III-A getMax over {rule, 2}: the pair (rule, 2) must fail
+		// x >= y with a type error and be skipped, not abort reduction.
+		max := MustParseRuleBody("max", "replace x, y by x if x >= y", nil)
+		env := NewBinding()
+		env.bindAtom("x", max) // a rule atom is unorderable
+		env.bindAtom("y", Int(2))
+		var vm evalVM
+		if vm.evalGuard(compileGuard(max.Guard), env, funcs) {
+			t.Fatal("compiled guard accepted an unorderable pair")
+		}
+		if EvalGuard(max.Guard, env, funcs) {
+			t.Fatal("tree-walker guard accepted an unorderable pair")
+		}
+		sol := NewSolution(Int(3), max, Int(7))
+		e := NewEngine()
+		if err := e.Reduce(sol); err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Contains(Int(7)) || sol.Contains(Int(3)) {
+			t.Fatalf("getMax reduced wrongly: %v", sol)
+		}
+	})
+
+	t.Run("omega splices", func(t *testing.T) {
+		env := NewBinding()
+		env.bindRest("w", []Atom{Int(1), NewSolution(Ident("A")), Str("s")})
+		products := []Expr{
+			&ECall{Fn: "list", Args: []Expr{&EVar{Name: "w", Omega: true}}},
+			&ESolution{Elems: []Expr{&ELit{Val: Ident("DONE")}, &EVar{Name: "w", Omega: true}}},
+			&ETuple{Elems: []Expr{&ELit{Val: Int(1)}, &EVar{Name: "w", Omega: true}}},
+		}
+		compareExprPaths(t, products, env, funcs)
+	})
+
+	t.Run("nested solutions", func(t *testing.T) {
+		env := NewBinding()
+		env.bindRest("v", []Atom{Int(2)})
+		env.bindAtom("x", NewSolution(Str("inner")))
+		products := []Expr{
+			&ESolution{Elems: []Expr{
+				&ELit{Val: Ident("A")},
+				&ESolution{Elems: []Expr{&ELit{Val: Ident("B")}, &EVar{Name: "v", Omega: true}}},
+				&EVar{Name: "x"},
+			}},
+		}
+		compareExprPaths(t, products, env, funcs)
+	})
+
+	t.Run("non-linear bindings snapshot independently", func(t *testing.T) {
+		env := NewBinding()
+		env.bindAtom("x", NewSolution(Ident("S")))
+		products := []Expr{&EVar{Name: "x"}, &EVar{Name: "x"}}
+		compareExprPaths(t, products, env, funcs)
+		var vm evalVM
+		got, err := vm.evalProducts(compileProducts(products), env, funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each occurrence must be its own copy-on-write shell: mutating
+		// one produced solution must not leak into the other (or into
+		// the bound original).
+		if got[0].(*Solution) == got[1].(*Solution) {
+			t.Fatal("non-linear occurrences share a solution shell")
+		}
+		bound, _ := env.Atom("x")
+		if got[0].(*Solution) == bound.(*Solution) {
+			t.Fatal("produced solution aliases the binding")
+		}
+	})
+
+	t.Run("short-circuit skips erroring operand", func(t *testing.T) {
+		env := NewBinding()
+		// false && (1 / 0 == 0): the walker never evaluates the right
+		// side; the compiled jump must not either.
+		div := &EBinop{Op: "==", L: &EBinop{Op: "/", L: &ELit{Val: Int(1)}, R: &ELit{Val: Int(0)}}, R: &ELit{Val: Int(0)}}
+		products := []Expr{
+			&EBinop{Op: "&&", L: &ELit{Val: Bool(false)}, R: div},
+			&EBinop{Op: "||", L: &ELit{Val: Bool(true)}, R: div},
+		}
+		compareExprPaths(t, products, env, funcs)
+	})
+}

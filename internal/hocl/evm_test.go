@@ -1,0 +1,205 @@
+package hocl
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCompiledErrorFidelity pins the compiled evaluator's errors to the
+// tree-walker's, class by class: same rendered message, same *EvalError
+// with the identical source Expr node, and the same wrapped cause under
+// errors.Is/errors.As. Callers unwrap domain errors (e.g. injected agent
+// crashes) through the interpreter, so error identity is part of the
+// refactor's compatibility contract, not a cosmetic detail.
+func TestCompiledErrorFidelity(t *testing.T) {
+	boom := errors.New("boom")
+	funcs := NewFuncs()
+	funcs.Register("pair", func(args []Atom) ([]Atom, error) { return args, nil })
+	funcs.Register("explode", func([]Atom) ([]Atom, error) { return nil, boom })
+
+	env := NewBinding()
+	env.bindAtom("x", Ident("A"))
+	env.bindRest("e", nil)
+
+	cases := []struct {
+		name    string
+		product []Expr
+		funcs   *Funcs
+		cause   error // non-nil: must match via errors.Is on both paths
+	}{
+		{
+			name:    "unbound variable",
+			product: []Expr{&EVar{Name: "nope"}},
+			funcs:   funcs,
+		},
+		{
+			name:    "unbound omega variable",
+			product: []Expr{&EVar{Name: "nope", Omega: true}},
+			funcs:   funcs,
+		},
+		{
+			name:    "omega variable in scalar position",
+			product: []Expr{&EUnop{Op: "!", X: &EVar{Name: "e", Omega: true}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "comparison type mismatch",
+			product: []Expr{&EBinop{Op: ">=", L: &EVar{Name: "x"}, R: &ELit{Val: Int(1)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "arithmetic type mismatch",
+			product: []Expr{&EBinop{Op: "+", L: &EVar{Name: "x"}, R: &ELit{Val: Int(1)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "division by zero",
+			product: []Expr{&EBinop{Op: "/", L: &ELit{Val: Int(1)}, R: &ELit{Val: Int(0)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "modulo by zero",
+			product: []Expr{&EBinop{Op: "%", L: &ELit{Val: Int(1)}, R: &ELit{Val: Int(0)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "modulo on floats",
+			product: []Expr{&EBinop{Op: "%", L: &ELit{Val: Float(1.5)}, R: &ELit{Val: Int(2)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "non-bool left operand",
+			product: []Expr{&EBinop{Op: "&&", L: &ELit{Val: Int(1)}, R: &ELit{Val: Bool(true)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "non-bool right operand",
+			product: []Expr{&EBinop{Op: "||", L: &ELit{Val: Bool(false)}, R: &ELit{Val: Int(1)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "negate non-number",
+			product: []Expr{&EUnop{Op: "-", X: &ELit{Val: Str("s")}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "logical not on non-bool",
+			product: []Expr{&EUnop{Op: "!", X: &ELit{Val: Int(3)}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "bad call arity",
+			product: []Expr{&ECall{Fn: "len", Args: []Expr{&ELit{Val: Int(1)}, &ELit{Val: Int(2)}}}},
+			funcs:   funcs,
+		},
+		{
+			name:    "unknown function",
+			product: []Expr{&ECall{Fn: "nope"}},
+			funcs:   funcs,
+		},
+		{
+			name:    "no function registry",
+			product: []Expr{&ECall{Fn: "list", Args: []Expr{&ELit{Val: Int(1)}}}},
+			funcs:   nil,
+		},
+		{
+			name: "multi-atom result in scalar position",
+			product: []Expr{&EUnop{Op: "!", X: &ECall{
+				Fn: "pair", Args: []Expr{&ELit{Val: Int(1)}, &ELit{Val: Int(2)}},
+			}}},
+			funcs: funcs,
+		},
+		{
+			name: "tuple too short after splice",
+			product: []Expr{&ETuple{Elems: []Expr{
+				&ELit{Val: Int(1)}, &EVar{Name: "e", Omega: true},
+			}}},
+			funcs: funcs,
+		},
+		{
+			name:    "function error wraps cause",
+			product: []Expr{&ECall{Fn: "explode"}},
+			funcs:   funcs,
+			cause:   boom,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, werr := EvalElems(tc.product, env, tc.funcs)
+			if werr == nil {
+				t.Fatal("tree-walker did not error; the case does not cover its class")
+			}
+			var vm evalVM
+			_, gerr := vm.evalProducts(compileProducts(tc.product), env, tc.funcs)
+			if gerr == nil {
+				t.Fatalf("compiled path succeeded; tree-walker errored: %v", werr)
+			}
+			if gerr.Error() != werr.Error() {
+				t.Errorf("message mismatch:\ncompiled: %s\nwalker:   %s", gerr, werr)
+			}
+			var ge, we *EvalError
+			if !errors.As(gerr, &ge) || !errors.As(werr, &we) {
+				t.Fatalf("both paths must yield *EvalError (compiled %T, walker %T)", gerr, werr)
+			}
+			if ge.Expr != we.Expr {
+				t.Errorf("source expression differs: compiled %s, walker %s", ge.Expr, we.Expr)
+			}
+			if ge.Msg != we.Msg {
+				t.Errorf("Msg differs: compiled %q, walker %q", ge.Msg, we.Msg)
+			}
+			if (ge.Err == nil) != (we.Err == nil) {
+				t.Errorf("wrapped cause presence differs: compiled %v, walker %v", ge.Err, we.Err)
+			}
+			if tc.cause != nil {
+				if !errors.Is(gerr, tc.cause) {
+					t.Error("compiled error does not wrap the function's cause")
+				}
+				if !errors.Is(werr, tc.cause) {
+					t.Error("tree-walker error does not wrap the function's cause")
+				}
+			}
+			// Every error class folds to a false guard on both paths.
+			if len(tc.product) == 1 {
+				if EvalGuard(tc.product[0], env, tc.funcs) {
+					t.Error("tree-walker guard did not fold the error to false")
+				}
+				if vm.evalGuard(compileGuard(tc.product[0]), env, tc.funcs) {
+					t.Error("compiled guard did not fold the error to false")
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRuleApplyErrorWrapping checks the firing-path wrapper: a
+// product failure surfaces through Rule.Apply with the rule name prefix
+// and still unwraps to the same *EvalError and cause.
+func TestCompiledRuleApplyErrorWrapping(t *testing.T) {
+	boom := errors.New("invoke failed")
+	funcs := NewFuncs()
+	funcs.Register("explode", func([]Atom) ([]Atom, error) { return nil, boom })
+	r := MustParseRuleBody("gw", "replace-one X by explode()", nil)
+	sol := NewSolution(Ident("X"), r)
+	m := MatchRule(r, sol, 1, funcs, nil)
+	if m == nil {
+		t.Fatal("no match")
+	}
+	err := r.Apply(sol, m, 1, funcs)
+	if err == nil {
+		t.Fatal("Apply must fail when a product errors")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("cause lost through Apply: %v", err)
+	}
+	var ee *EvalError
+	if !errors.As(err, &ee) {
+		t.Fatalf("no *EvalError in chain: %v", err)
+	}
+	if want := "hocl: rule gw: " + ee.Error(); err.Error() != want {
+		t.Errorf("wrapped message %q, want %q", err, want)
+	}
+	if sol.Len() != 2 {
+		t.Errorf("solution must be unchanged on product failure, len %d", sol.Len())
+	}
+}

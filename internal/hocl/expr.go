@@ -373,7 +373,6 @@ func evalBinop(x *EBinop, env *Binding, funcs *Funcs) (Atom, error) {
 		}
 		return rb, nil
 	}
-
 	l, err := EvalScalar(x.L, env, funcs)
 	if err != nil {
 		return nil, err
@@ -382,16 +381,27 @@ func evalBinop(x *EBinop, env *Binding, funcs *Funcs) (Atom, error) {
 	if err != nil {
 		return nil, err
 	}
+	return applyBinop(x, l, r, true)
+}
 
+// applyBinop computes a non-short-circuit binary operation on evaluated
+// operands. It is shared by the tree-walker and the compiled expression
+// machine so the two paths cannot drift. With wantErr false (the
+// machine's quiet guard mode, where any error just means "guard false"),
+// failures return errEvalQuiet without allocating an error value.
+func applyBinop(x *EBinop, l, r Atom, wantErr bool) (Atom, error) {
 	switch x.Op {
 	case "==":
 		return Bool(l.Equal(r)), nil
 	case "!=":
 		return Bool(!l.Equal(r)), nil
 	case "<", "<=", ">", ">=":
-		c, err := compareAtoms(l, r)
-		if err != nil {
-			return nil, evalErrf(x, "%v", err)
+		c, ok := compareAtomsOrd(l, r)
+		if !ok {
+			if !wantErr {
+				return nil, errEvalQuiet
+			}
+			return nil, evalErrf(x, "cannot compare %s with %s", l.Kind(), r.Kind())
 		}
 		switch x.Op {
 		case "<":
@@ -404,8 +414,11 @@ func evalBinop(x *EBinop, env *Binding, funcs *Funcs) (Atom, error) {
 			return Bool(c >= 0), nil
 		}
 	case "+", "-", "*", "/", "%":
-		return arith(x, l, r)
+		return arith(x, l, r, wantErr)
 	default:
+		if !wantErr {
+			return nil, errEvalQuiet
+		}
 		return nil, evalErrf(x, "unknown operator %q", x.Op)
 	}
 }
@@ -415,6 +428,12 @@ func evalUnop(x *EUnop, env *Binding, funcs *Funcs) (Atom, error) {
 	if err != nil {
 		return nil, err
 	}
+	return applyUnop(x, v, true)
+}
+
+// applyUnop computes a unary operation on an evaluated operand; shared
+// by the tree-walker and the compiled machine like applyBinop.
+func applyUnop(x *EUnop, v Atom, wantErr bool) (Atom, error) {
 	switch x.Op {
 	case "-":
 		switch n := v.(type) {
@@ -423,14 +442,23 @@ func evalUnop(x *EUnop, env *Binding, funcs *Funcs) (Atom, error) {
 		case Float:
 			return -n, nil
 		}
+		if !wantErr {
+			return nil, errEvalQuiet
+		}
 		return nil, evalErrf(x, "cannot negate %s", v.Kind())
 	case "!":
 		b, ok := v.(Bool)
 		if !ok {
+			if !wantErr {
+				return nil, errEvalQuiet
+			}
 			return nil, evalErrf(x, "cannot negate non-bool %s", v.Kind())
 		}
 		return !b, nil
 	default:
+		if !wantErr {
+			return nil, errEvalQuiet
+		}
 		return nil, evalErrf(x, "unknown unary operator %q", x.Op)
 	}
 }
@@ -438,27 +466,38 @@ func evalUnop(x *EUnop, env *Binding, funcs *Funcs) (Atom, error) {
 // compareAtoms orders two atoms: numbers compare numerically with int→float
 // promotion, strings lexicographically. Other kinds are unordered.
 func compareAtoms(l, r Atom) (int, error) {
+	c, ok := compareAtomsOrd(l, r)
+	if !ok {
+		return 0, fmt.Errorf("cannot compare %s with %s", l.Kind(), r.Kind())
+	}
+	return c, nil
+}
+
+// compareAtomsOrd is the allocation-free core of compareAtoms: it reports
+// unordered kinds with a bool instead of constructing an error, so the
+// quiet guard path stays off the heap.
+func compareAtomsOrd(l, r Atom) (int, bool) {
 	switch a := l.(type) {
 	case Int:
 		switch b := r.(type) {
 		case Int:
-			return cmpInt(int64(a), int64(b)), nil
+			return cmpInt(int64(a), int64(b)), true
 		case Float:
-			return cmpFloat(float64(a), float64(b)), nil
+			return cmpFloat(float64(a), float64(b)), true
 		}
 	case Float:
 		switch b := r.(type) {
 		case Int:
-			return cmpFloat(float64(a), float64(b)), nil
+			return cmpFloat(float64(a), float64(b)), true
 		case Float:
-			return cmpFloat(float64(a), float64(b)), nil
+			return cmpFloat(float64(a), float64(b)), true
 		}
 	case Str:
 		if b, ok := r.(Str); ok {
-			return strings.Compare(string(a), string(b)), nil
+			return strings.Compare(string(a), string(b)), true
 		}
 	}
-	return 0, fmt.Errorf("cannot compare %s with %s", l.Kind(), r.Kind())
+	return 0, false
 }
 
 func cmpInt(a, b int64) int {
@@ -483,7 +522,10 @@ func cmpFloat(a, b float64) int {
 	}
 }
 
-func arith(x *EBinop, l, r Atom) (Atom, error) {
+// arith computes an arithmetic binary operation. With wantErr false
+// (quiet guard mode) every failure returns errEvalQuiet; the error sites
+// check before formatting so a failed guard never touches the heap.
+func arith(x *EBinop, l, r Atom, wantErr bool) (Atom, error) {
 	// String concatenation.
 	if x.Op == "+" {
 		if ls, ok := l.(Str); ok {
@@ -504,11 +546,17 @@ func arith(x *EBinop, l, r Atom) (Atom, error) {
 			return li * ri, nil
 		case "/":
 			if ri == 0 {
+				if !wantErr {
+					return nil, errEvalQuiet
+				}
 				return nil, evalErrf(x, "division by zero")
 			}
 			return li / ri, nil
 		case "%":
 			if ri == 0 {
+				if !wantErr {
+					return nil, errEvalQuiet
+				}
 				return nil, evalErrf(x, "modulo by zero")
 			}
 			return li % ri, nil
@@ -517,6 +565,9 @@ func arith(x *EBinop, l, r Atom) (Atom, error) {
 	lf, lok := toFloat(l)
 	rf, rok := toFloat(r)
 	if !lok || !rok {
+		if !wantErr {
+			return nil, errEvalQuiet
+		}
 		return nil, evalErrf(x, "arithmetic on %s and %s", l.Kind(), r.Kind())
 	}
 	switch x.Op {
@@ -528,10 +579,16 @@ func arith(x *EBinop, l, r Atom) (Atom, error) {
 		return Float(lf * rf), nil
 	case "/":
 		if rf == 0 {
+			if !wantErr {
+				return nil, errEvalQuiet
+			}
 			return nil, evalErrf(x, "division by zero")
 		}
 		return Float(lf / rf), nil
 	default:
+		if !wantErr {
+			return nil, errEvalQuiet
+		}
 		return nil, evalErrf(x, "operator %q not defined on floats", x.Op)
 	}
 }

@@ -12,6 +12,12 @@ import (
 // into the enclosing molecule list. The paper's HOCL interpreter calls
 // Java methods this way (§III-A); GinFlow uses external functions for
 // list construction, service invocation (invoke) and message sending.
+//
+// The args slice is only valid for the duration of the call: the
+// compiled evaluator passes a window of its pooled value stack. A Func
+// that needs to keep the arguments must copy them (returning args, or a
+// subslice of it, as the result is fine — the evaluator reads results
+// before reusing the window).
 type Func func(args []Atom) ([]Atom, error)
 
 // Funcs is a registry of external functions. The zero value is empty and

@@ -186,6 +186,12 @@ type matcher struct {
 	ordPool  [][]int
 	// eqScratch backs restEqual's seen-flags, pooled for the same reason.
 	eqScratch []bool
+
+	// vm is the matcher-owned expression machine: guard programs run on
+	// it in quiet mode after every complete candidate selection, and the
+	// engine reuses the same machine for product evaluation, so neither
+	// a failed guard nor a firing allocates evaluation state.
+	vm evalVM
 }
 
 // reset prepares the matcher for a fresh match, reusing its slices and
@@ -216,16 +222,18 @@ func (m *matcher) matchRule(r *Rule, selfIdx int) *Match {
 	if selfIdx >= 0 && selfIdx < m.sol.Len() {
 		m.used[selfIdx] = true
 	}
-	if !m.run(r.program(), r.Guard) {
+	gprog, _ := r.eprograms()
+	if !m.run(r.program(), gprog) {
 		return nil
 	}
 	return &Match{Env: m.env, Consumed: m.consumedIndices(selfIdx)}
 }
 
 // run executes the compiled instruction sequence to the first complete
-// match that also satisfies the guard, backtracking through choice
-// points on any failure.
-func (m *matcher) run(prog []minstr, guard Expr) bool {
+// match that also satisfies the guard (a compiled expression program,
+// empty when the rule has none), backtracking through choice points on
+// any failure.
+func (m *matcher) run(prog []minstr, gprog []einstr) bool {
 	m.data = m.data[:0]
 	m.frames = m.frames[:0]
 	m.trail = m.trail[:0]
@@ -235,7 +243,7 @@ func (m *matcher) run(prog []minstr, guard Expr) bool {
 	pc := 0
 	for {
 		if pc == len(prog) {
-			if EvalGuard(guard, m.env, m.funcs) {
+			if m.vm.evalGuard(gprog, m.env, m.funcs) {
 				return true
 			}
 			if !m.backtrack(&pc) {

@@ -145,7 +145,7 @@ func (e *Engine) fireOne(sol *Solution, depth int) (bool, error) {
 		if e.steps > e.maxSteps() {
 			return false, &ErrDiverged{Steps: e.maxSteps()}
 		}
-		if err := r.Apply(sol, m, idx, e.funcs()); err != nil {
+		if err := r.applyVM(sol, m, idx, e.funcs(), &e.scratch.vm); err != nil {
 			return false, err
 		}
 		if e.Trace != nil {

@@ -27,6 +27,12 @@ type Rule struct {
 	// compilation must be once-only under concurrency.
 	compileOnce sync.Once
 	compiled    []minstr
+
+	// ecompileOnce caches the expression programs for Guard and Product
+	// under the same immutability/sharing contract as compileOnce.
+	ecompileOnce sync.Once
+	guardProg    []einstr
+	productProg  []einstr
 }
 
 // program returns the rule's compiled matcher program, compiling the
@@ -34,6 +40,17 @@ type Rule struct {
 func (r *Rule) program() []minstr {
 	r.compileOnce.Do(func() { r.compiled = compilePatterns(r.Pattern) })
 	return r.compiled
+}
+
+// eprograms returns the rule's compiled guard and product programs,
+// compiling both expression trees on first use. A nil guard compiles to
+// an empty program (always true).
+func (r *Rule) eprograms() (guard, products []einstr) {
+	r.ecompileOnce.Do(func() {
+		r.guardProg = compileGuard(r.Guard)
+		r.productProg = compileProducts(r.Product)
+	})
+	return r.guardProg, r.productProg
 }
 
 // NewRule builds a named catalyst rule.
@@ -117,16 +134,27 @@ func (r *Rule) String() string {
 // are evaluated and inserted. Apply reports an error if a product fails
 // to evaluate; the solution is unchanged in that case.
 func (r *Rule) Apply(sol *Solution, m *Match, selfIdx int, funcs *Funcs) error {
-	products, err := EvalElems(r.Product, m.Env, funcs)
-	if err != nil {
+	var vm evalVM
+	return r.applyVM(sol, m, selfIdx, funcs, &vm)
+}
+
+// applyVM is Apply with a caller-owned expression machine: the engine's
+// hot loop reuses one machine (and its removal scratch) across firings,
+// so firing a rule allocates only what the products themselves require.
+// The products are inserted straight off the machine's value stack —
+// Solution.Add copies the atoms, so the stack is free for reuse after.
+func (r *Rule) applyVM(sol *Solution, m *Match, selfIdx int, funcs *Funcs, vm *evalVM) error {
+	_, pprog := r.eprograms()
+	if err := vm.run(pprog, m.Env, funcs); err != nil {
 		return fmt.Errorf("hocl: rule %s: %w", r.displayName(), err)
 	}
-	remove := append([]int(nil), m.Consumed...)
+	remove := append(vm.removeScratch[:0], m.Consumed...)
 	if r.OneShot && selfIdx >= 0 {
 		remove = append(remove, selfIdx)
 	}
-	sol.RemoveIndices(remove)
-	sol.Add(products...)
+	vm.removeScratch = remove
+	sol.removeSortedInPlace(remove)
+	sol.Add(vm.stack...)
 	return nil
 }
 
