@@ -23,6 +23,7 @@ import (
 	"ginflow/internal/journal"
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
+	"ginflow/internal/obs"
 	"ginflow/internal/space"
 	"ginflow/internal/workflow"
 )
@@ -442,6 +443,49 @@ func BenchmarkMessageRoundTrip(b *testing.B) {
 		}
 		// Result pass: pre-built molecules -> broker -> peer ingest by
 		// reference.
+		if err := broker.PublishAtoms("sa.T2", []hocl.Atom{pass}); err != nil {
+			b.Fatal(err)
+		}
+		m := <-inbox.C()
+		if len(m.Atoms) != 1 || !hocl.Shareable(m.Atoms[0]) {
+			b.Fatalf("bad structural ingest: %v", m.Atoms)
+		}
+	}
+}
+
+// BenchmarkInstrumentedMessageRoundTrip is BenchmarkMessageRoundTrip
+// with the broker's metrics wired (SetMetrics before traffic, the
+// production shape): per-delivery counter increments, pending-depth
+// gauge moves and batch-size observations ride the same two wire hops.
+// The ceiling matches the uninstrumented benchmark's — instrumentation
+// must cost atomics, never allocations.
+func BenchmarkInstrumentedMessageRoundTrip(b *testing.B) {
+	clock := cluster.NewClock(time.Nanosecond)
+	broker := mq.NewQueueBroker(clock, 1e-9)
+	broker.SetServiceTime(0)
+	broker.SetMetrics(obs.NewRegistry())
+	sp := space.New()
+	spaceSub, err := broker.Subscribe(space.DefaultTopic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inbox, err := broker.Subscribe("sa.T2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	status := hoclflow.TaskAttrs{Name: "T1", Dst: []string{"T2"}, Service: "work"}.SubSolution()
+	statusTuple := hocl.Tuple{hocl.Ident("T1"), status}
+	pass := hoclflow.PassMessage("T1", []hocl.Atom{hocl.Str("out-T1"), hocl.List{hocl.Int(1), hocl.Int(2)}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := broker.PublishAtoms(space.DefaultTopic, []hocl.Atom{hocl.Snapshot(statusTuple)}); err != nil {
+			b.Fatal(err)
+		}
+		sm := <-spaceSub.C()
+		if !sp.ApplyMessage(sm) {
+			b.Fatal("space rejected payload")
+		}
 		if err := broker.PublishAtoms("sa.T2", []hocl.Atom{pass}); err != nil {
 			b.Fatal(err)
 		}

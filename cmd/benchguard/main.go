@@ -14,6 +14,14 @@
 //
 //	go test -run xxx -bench BenchmarkReduceDiamondRules -benchmem -count 2 . \
 //	  | go run ./cmd/benchguard -baseline internal/bench/baseline.json
+//
+// A second mode validates a scraped /metrics body instead: -exposition
+// runs the promlint-style checker over a saved Prometheus text file
+// (the CI smoke job scrapes a live ginflow-bench run), and -require
+// fails unless every named family appears:
+//
+//	go run ./cmd/benchguard -exposition metrics.prom \
+//	  -require ginflow_mq_published_total,ginflow_sessions_completed_total
 package main
 
 import (
@@ -24,6 +32,9 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
+
+	"ginflow/internal/obs"
 )
 
 // baseline mirrors the checked-in JSON: benchmark name to ceiling.
@@ -46,8 +57,14 @@ type benchBounds struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op\s+\S+ B/op\s+(\d+) allocs/op`)
 
 func main() {
-	baselinePath := flag.String("baseline", "", "path to the baseline JSON (required)")
+	baselinePath := flag.String("baseline", "", "path to the baseline JSON (required unless -exposition)")
+	expoPath := flag.String("exposition", "", "validate this saved Prometheus /metrics body instead of gating benchmarks")
+	require := flag.String("require", "", "comma-separated metric families the exposition must declare (-exposition only)")
 	flag.Parse()
+	if *expoPath != "" {
+		checkExposition(*expoPath, *require)
+		return
+	}
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
 		os.Exit(2)
@@ -110,4 +127,36 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkExposition validates a scraped Prometheus text body and the
+// presence of the required families, exiting non-zero on violation.
+func checkExposition(path, require string) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL exposition %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	text := string(body)
+	failed := false
+	for _, family := range strings.Split(require, ",") {
+		family = strings.TrimSpace(family)
+		if family == "" {
+			continue
+		}
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL exposition %s: family %s missing\n", path, family)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchguard: ok exposition family %s present\n", family)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: ok exposition %s valid\n", path)
 }

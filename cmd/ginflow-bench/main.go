@@ -18,7 +18,14 @@
 // The sweep takes extra knobs: -sizes picks the mesh sizes (e.g.
 // -sizes 8,16), -shards sets the broker shard count (1 = the unsharded
 // broker, for before/after comparisons), and -json writes the sweep
-// results as a machine-readable artifact (the CI smoke job uploads it).
+// results plus a final metrics snapshot as a machine-readable artifact
+// (the CI smoke job uploads it).
+//
+// Observability: -metrics-addr serves the process metrics and pprof
+// over HTTP for the lifetime of the run (scrape /metrics while a sweep
+// is in flight), and -trace-out writes the Chrome trace_event timeline
+// of a dedicated 16x16 diamond run on the virtual clock — load it in
+// chrome://tracing or https://ui.perfetto.dev.
 //
 // Times are model seconds (1 model second costs -scale of real time;
 // see DESIGN.md §1 for the substitution rationale). -quick shrinks the
@@ -38,6 +45,8 @@ import (
 	"time"
 
 	"ginflow/internal/bench"
+	"ginflow/internal/obs"
+	"ginflow/internal/trace"
 )
 
 func main() {
@@ -61,8 +70,20 @@ func run() error {
 		jsonPath = flag.String("json", "", "write sweep results as JSON to this path (sweep only)")
 		chaosN   = flag.Int("chaos-seeds", 10, "seeded fault schedules to soak (chaos only)")
 		virtual  = flag.Bool("virtual", false, "discrete-event virtual clock: model time jumps between timer deadlines, -scale is ignored")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address for the run's lifetime (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write the Chrome trace_event JSON of a dedicated virtual 16x16 diamond run to this path")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n\n", srv.Addr())
+	}
 
 	opts := bench.Options{
 		Out:          os.Stdout,
@@ -110,6 +131,12 @@ func run() error {
 		return nil
 	}
 
+	if *traceOut != "" {
+		if err := writeTrace(opts, *traceOut); err != nil {
+			return err
+		}
+	}
+
 	if *fig != "all" {
 		return runFig(*fig)
 	}
@@ -118,6 +145,28 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// writeTrace runs the dedicated traced virtual 16x16 diamond and writes
+// its Chrome trace_event timeline to path.
+func writeTrace(opts bench.Options, path string) error {
+	rep, err := bench.TracedDiamondRun(opts, 16)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, rep.Events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote Chrome trace of a virtual 16x16 diamond (%d events) to %s\n\n", len(rep.Events), path)
 	return nil
 }
 
@@ -135,17 +184,20 @@ func runSweep(opts bench.Options, sizes []int, jsonPath string) error {
 	if jsonPath == "" {
 		return nil
 	}
-	results := []bench.SweepResult{
-		{
-			Mode: "standalone", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
-			Points: standalonePoints, WallSeconds: standaloneWall.Seconds(),
+	artifact := bench.SweepArtifact{
+		Results: []bench.SweepResult{
+			{
+				Mode: "standalone", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
+				Points: standalonePoints, WallSeconds: standaloneWall.Seconds(),
+			},
+			{
+				Mode: "shared-manager", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
+				Points: sharedPoints, WallSeconds: sharedWall.Seconds(),
+			},
 		},
-		{
-			Mode: "shared-manager", BrokerShards: opts.BrokerShards, Runs: opts.Runs, Fan: opts.Fan,
-			Points: sharedPoints, WallSeconds: sharedWall.Seconds(),
-		},
+		Metrics: obs.Default().Snapshot(),
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
+	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,9 @@ func run() error {
 		listen  = flag.String("listen", "", "transport listener address (e.g. :7410): ginflow-node workers join and host the agents out-of-process")
 		workers = flag.Int("workers", 1, "with -listen, wait for this many workers to join before submitting")
 
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json and /debug/pprof/ on this address for the duration of the run (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write the first session's enactment timeline as Chrome trace_event JSON to this file (implies trace collection; open in chrome://tracing or Perfetto)")
+
 		verbose   = flag.Bool("v", false, "print per-task statuses")
 		showTrace = flag.Bool("trace", false, "print the enactment timeline")
 		dumpDOT   = flag.Bool("dot", false, "print the workflow as Graphviz DOT and exit")
@@ -124,13 +127,14 @@ func run() error {
 		FailureP:     *failureP,
 		FailureT:     *failureT,
 		Timeout:      *timeout,
-		CollectTrace: *showTrace,
+		CollectTrace: *showTrace || *traceOut != "",
 	}
 	cfg.Journal.Dir = *journalDir
 	cfg.Listen = *listen
+	cfg.MetricsAddr = *metricsAddr
 
 	if *listen != "" && !*resume {
-		return runListen(os.Stdout, def, services, cfg, *workers, *parallel, *verbose)
+		return runListen(os.Stdout, def, services, cfg, *workers, *parallel, *verbose, *traceOut)
 	}
 
 	if *resume {
@@ -141,7 +145,7 @@ func run() error {
 	}
 
 	if *parallel > 1 {
-		return runParallel(os.Stdout, def, services, cfg, *parallel, *verbose)
+		return runParallel(os.Stdout, def, services, cfg, *parallel, *verbose, *traceOut)
 	}
 
 	report, err := ginflow.Run(context.Background(), def, services, cfg)
@@ -153,8 +157,29 @@ func run() error {
 				fmt.Println(" ", e)
 			}
 		}
+		if *traceOut != "" {
+			if terr := writeTraceFile(*traceOut, report.Events); terr != nil && err == nil {
+				err = terr
+			} else if terr == nil {
+				fmt.Printf("trace:        %s (%d events; open in chrome://tracing)\n", *traceOut, len(report.Events))
+			}
+		}
 	}
 	return err
+}
+
+// writeTraceFile renders an enactment timeline as Chrome trace_event
+// JSON at path.
+func writeTraceFile(path string, events []ginflow.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ginflow.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runListen builds a long-lived Manager hosting a transport listener,
@@ -162,7 +187,7 @@ func run() error {
 // fleet size, then submits the workload: the agents run in the worker
 // processes, publishing and subscribing through this manager's broker
 // over TCP.
-func runListen(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, workers, n int, verbose bool) error {
+func runListen(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, workers, n int, verbose bool, traceOut string) error {
 	mgr, err := ginflow.New(managerOptions(cfg)...)
 	if err != nil {
 		return err
@@ -171,6 +196,9 @@ func runListen(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegi
 
 	fmt.Fprintf(w, "listening on %s — join workers with: ginflow-node -addr %s -services ...\n",
 		mgr.ListenerAddr(), mgr.ListenerAddr())
+	if a := mgr.MetricsAddr(); a != "" {
+		fmt.Fprintf(w, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", a)
+	}
 	for mgr.ConnectedNodes() < workers {
 		fmt.Fprintf(w, "waiting for workers: %d/%d joined\n", mgr.ConnectedNodes(), workers)
 		time.Sleep(time.Second)
@@ -194,6 +222,11 @@ func runListen(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegi
 		fmt.Fprintf(w, "session %d: %s\n", h.ID(), rep)
 		if verbose {
 			printReport(w, rep, true)
+		}
+		if traceOut != "" && i == 0 {
+			if err := writeTraceFile(traceOut, rep.Events); err == nil {
+				fmt.Fprintf(w, "trace: %s (%d events)\n", traceOut, len(rep.Events))
+			}
 		}
 	}
 	return firstErr
@@ -256,19 +289,25 @@ func managerOptions(cfg ginflow.Config) []ginflow.Option {
 	if cfg.Listen != "" {
 		opts = append(opts, ginflow.WithListener(cfg.Listen))
 	}
+	if cfg.MetricsAddr != "" {
+		opts = append(opts, ginflow.WithMetrics(cfg.MetricsAddr))
+	}
 	return opts
 }
 
 // runParallel drives n concurrent submissions of the same workload
 // through one long-lived Manager, printing each session's report as it
 // completes plus an aggregate line.
-func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, n int, verbose bool) error {
+func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRegistry, cfg ginflow.Config, n int, verbose bool, traceOut string) error {
 	opts := managerOptions(cfg)
 	mgr, err := ginflow.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer mgr.Close()
+	if a := mgr.MetricsAddr(); a != "" {
+		fmt.Fprintf(w, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", a)
+	}
 
 	started := time.Now()
 	handles := make([]*ginflow.Handle, n)
@@ -298,6 +337,11 @@ func runParallel(w io.Writer, def *ginflow.Workflow, services *ginflow.ServiceRe
 		fmt.Fprintf(w, "session %d: %s\n", h.ID(), rep)
 		if verbose && i == 0 {
 			printReport(w, rep, true)
+		}
+		if traceOut != "" && i == 0 {
+			if err := writeTraceFile(traceOut, rep.Events); err == nil {
+				fmt.Fprintf(w, "trace: %s (%d events)\n", traceOut, len(rep.Events))
+			}
 		}
 	}
 	mean := 0.0

@@ -105,7 +105,7 @@ func TestRunParallelSessions(t *testing.T) {
 		Timeout:  30 * time.Second,
 	}
 	var buf bytes.Buffer
-	if err := runParallel(&buf, def, services, cfg, 3, false); err != nil {
+	if err := runParallel(&buf, def, services, cfg, 3, false, ""); err != nil {
 		t.Fatalf("runParallel: %v\n%s", err, buf.String())
 	}
 	out := buf.String()

@@ -1,10 +1,11 @@
 package ginflow_test
 
 // TestPublicGodocComplete is the exported-comment lint for the public
-// ginflow package (a revive/golint-style check, kept in-tree so CI
-// needs no external tool): every exported identifier — types, funcs,
-// methods on exported types, and package-level consts/vars — must carry
-// a doc comment, so `go doc ginflow` reads as reference documentation.
+// ginflow package and the documented support packages (a
+// revive/golint-style check, kept in-tree so CI needs no external
+// tool): every exported identifier — types, funcs, methods on exported
+// types, and package-level consts/vars — must carry a doc comment, so
+// `go doc` reads as reference documentation.
 
 import (
 	"fmt"
@@ -16,14 +17,27 @@ import (
 )
 
 func TestPublicGodocComplete(t *testing.T) {
+	// dir -> package name. internal/obs joins the public façade: it is
+	// the metrics vocabulary embedders meet through MetricsRegistry.
+	for dir, name := range map[string]string{
+		".":            "ginflow",
+		"internal/obs": "obs",
+	} {
+		lintPackageDocs(t, dir, name)
+	}
+}
+
+// lintPackageDocs runs the exported-comment lint over one directory.
+func lintPackageDocs(t *testing.T, dir, pkgName string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, ok := pkgs["ginflow"]
+	pkg, ok := pkgs[pkgName]
 	if !ok {
-		t.Fatalf("package ginflow not found in . (got %v)", pkgs)
+		t.Fatalf("package %s not found in %s (got %v)", pkgName, dir, pkgs)
 	}
 
 	var missing []string
@@ -50,8 +64,8 @@ func TestPublicGodocComplete(t *testing.T) {
 		}
 	}
 	if len(missing) > 0 {
-		t.Errorf("exported identifiers without doc comments (godoc lint):\n  %s",
-			strings.Join(missing, "\n  "))
+		t.Errorf("exported identifiers without doc comments (godoc lint, %s):\n  %s",
+			pkgName, strings.Join(missing, "\n  "))
 	}
 }
 

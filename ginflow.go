@@ -47,6 +47,7 @@ package ginflow
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"ginflow/internal/agent"
@@ -58,6 +59,7 @@ import (
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
+	"ginflow/internal/obs"
 	"ginflow/internal/templates"
 	"ginflow/internal/trace"
 	"ginflow/internal/transport"
@@ -106,6 +108,11 @@ type (
 	ChaosConfig = failure.ChaosConfig
 	// RetryConfig bounds the retry-with-backoff loops run under chaos.
 	RetryConfig = failure.RetryConfig
+	// MetricsRegistry is a zero-dependency metrics registry (counters,
+	// gauges, histograms) with Prometheus text exposition; the engine's
+	// instruments resolve on one (WithMetricsRegistry, or the shared
+	// DefaultMetrics registry).
+	MetricsRegistry = obs.Registry
 )
 
 // Executor kinds (§IV-C; EC2 is the cloud executor the paper sketches
@@ -285,6 +292,33 @@ func WithRetry(rc RetryConfig) Option { return func(c *Config) { c.Retry = rc } 
 // executor (ErrNoBroker otherwise).
 func WithListener(addr string) Option { return func(c *Config) { c.Listen = addr } }
 
+// WithMetrics serves the Manager's observability endpoints on addr
+// ("host:port"; ":0" picks a free port, resolved by Manager.MetricsAddr):
+// Prometheus text exposition at /metrics, a JSON snapshot at
+// /metrics.json and the standard net/http/pprof profiles under
+// /debug/pprof/. The endpoint covers every instrumented boundary —
+// broker publishes and deliveries, journal appends and fsyncs,
+// transport frames and reconnects, retry attempts, chaos fault draws
+// and session lifecycle timings on both the wall clock and the model
+// clock.
+func WithMetrics(addr string) Option { return func(c *Config) { c.MetricsAddr = addr } }
+
+// WithMetricsRegistry resolves the Manager's instruments on a private
+// registry instead of the process-wide DefaultMetrics one. Two
+// same-seed virtual-time runs over fresh private registries produce
+// bit-identical model-time metric snapshots, so a run's metrics can be
+// asserted on, diffed, or compared across refactorings.
+func WithMetricsRegistry(reg *MetricsRegistry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithTraceCap bounds each session's retained event timeline to the
+// newest n events: the recorder becomes a ring buffer and the oldest
+// events are dropped (and counted) once n is exceeded. The default (0)
+// retains the full timeline, which for long chaos soaks grows without
+// bound.
+func WithTraceCap(n int) Option { return func(c *Config) { c.TraceCap = n } }
+
 // WithJournal makes every distributed session durable: the submitted
 // workflow, periodic space snapshots and the status-push stream are
 // journaled under dir (one write-ahead segment log per session), and a
@@ -372,6 +406,16 @@ func (m *Manager) EventsDropped() int64 { return m.inner.EventsDropped() }
 // ":0" listen address resolved to the picked port. Empty without
 // WithListener.
 func (m *Manager) ListenerAddr() string { return m.inner.ListenerAddr() }
+
+// Metrics returns the registry the Manager's instruments resolve on:
+// the WithMetricsRegistry one, or the process-wide DefaultMetrics
+// registry.
+func (m *Manager) Metrics() *MetricsRegistry { return m.inner.Metrics() }
+
+// MetricsAddr returns the bound address of the WithMetrics endpoint,
+// with a ":0" address resolved to the picked port. Empty without
+// WithMetrics.
+func (m *Manager) MetricsAddr() string { return m.inner.MetricsAddr() }
 
 // ConnectedNodes reports how many worker processes have joined the
 // WithListener transport listener. Worker identities persist across
@@ -483,6 +527,26 @@ func Run(ctx context.Context, def *Workflow, services *ServiceRegistry, cfg Conf
 
 // NewServiceRegistry returns an empty service registry.
 func NewServiceRegistry() *ServiceRegistry { return agent.NewRegistry() }
+
+// DefaultMetrics returns the process-wide metrics registry, the one
+// Managers built without WithMetricsRegistry resolve their instruments
+// on. Package-level instrumentation (transport frames, HOCL reductions,
+// trace-ring drops) always lands here.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// NewMetricsRegistry returns an empty private metrics registry for
+// WithMetricsRegistry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace renders an event timeline (Report.Events, collected
+// with WithTrace or SubmitTrace) as Chrome trace_event JSON: load the
+// file in chrome://tracing or https://ui.perfetto.dev to see each
+// task's lifecycle as a labelled track, with service invocations as
+// duration slices and the remaining events as instants. Timestamps are
+// model seconds mapped to trace microseconds.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return trace.WriteChromeTrace(w, events)
+}
 
 // FromJSON decodes and validates a workflow from its JSON form (§IV-D).
 func FromJSON(data []byte) (*Workflow, error) { return workflow.FromJSON(data) }

@@ -1,0 +1,228 @@
+package ginflow
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ginflow/internal/obs"
+)
+
+// TestMetricsEndpointLiveChaosRun is the observability acceptance run:
+// a manager serving /metrics while enacting a chaos-seeded workload
+// with a journal, a TCP listener and an in-process worker joined over
+// it — so the scrape covers every instrumented boundary at once. The
+// body must be a valid Prometheus exposition naming the broker,
+// journal, transport, retry, chaos and session families.
+func TestMetricsEndpointLiveChaosRun(t *testing.T) {
+	mgr, err := New(
+		WithExecutor(ExecutorSSH),
+		WithBroker(BrokerActiveMQ),
+		WithCluster(ClusterConfig{Nodes: 8, Scale: 50 * time.Microsecond}),
+		WithTimeout(time.Minute),
+		WithListener("127.0.0.1:0"),
+		WithMetrics("127.0.0.1:0"),
+		WithJournal(t.TempDir()),
+		WithChaos(ChaosConfig{
+			Seed:          11,
+			MessageDropP:  0.05,
+			MessageDupP:   0.05,
+			MessageDelayP: 0.05,
+			InvokeErrorP:  0.05,
+			DeployErrorP:  0.05,
+			JournalErrorP: 0.02,
+			SocketDropP:   0.02,
+		}),
+		WithRetry(RetryConfig{MaxAttempts: 10, BackoffBase: 0.25}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if mgr.MetricsAddr() == "" {
+		t.Fatal("MetricsAddr empty despite WithMetrics")
+	}
+
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "split", "work", "merge")
+	w, err := JoinCluster(mgr.ListenerAddr(), services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.ConnectedNodes() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	def := Diamond(DefaultDiamondSpec(3, 3, false))
+	h, err := mgr.Submit(context.Background(), def, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Statuses["MERGE"] != StatusCompleted {
+		t.Fatalf("merge = %v", rep.Statuses["MERGE"])
+	}
+
+	resp, err := http.Get("http://" + mgr.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("/metrics body invalid: %v\n%s", err, body)
+	}
+
+	// Every instrumented boundary must surface, and the load-bearing
+	// counters must have actually counted this run.
+	text := string(body)
+	for _, family := range []string{
+		"ginflow_mq_published_total",
+		"ginflow_mq_deliveries_total",
+		"ginflow_mq_batch_size",
+		"ginflow_journal_appends_total",
+		"ginflow_journal_fsyncs_total",
+		"ginflow_transport_frames_sent_total",
+		"ginflow_transport_frames_received_total",
+		"ginflow_retry_attempts_total",
+		"ginflow_chaos_draws_total",
+		"ginflow_sessions_started_total",
+		"ginflow_sessions_completed_total",
+		"ginflow_events_total",
+		"ginflow_agents_deployed_total",
+		"ginflow_service_invoke_model_seconds",
+		"ginflow_session_wall_seconds",
+		"ginflow_hocl_reduce_calls_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	reg := DefaultMetrics()
+	for name, labels := range map[string][]obs.Label{
+		"ginflow_mq_published_total":          nil,
+		"ginflow_journal_appends_total":       nil,
+		"ginflow_transport_frames_sent_total": nil,
+		"ginflow_chaos_draws_total":           {obs.L("boundary", "message")},
+		"ginflow_agents_deployed_total":       nil,
+	} {
+		if got := reg.Counter(name, "", labels...).Value(); got == 0 {
+			t.Errorf("%s = 0 after a chaos-seeded remote run", name)
+		}
+	}
+
+	// The JSON mount serves the same registry in snapshot form.
+	resp, err = http.Get("http://" + mgr.MetricsAddr() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap []obs.FamilySnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics.json not parseable: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Error("/metrics.json empty")
+	}
+}
+
+// TestTraceCapPublicAPI: WithTraceCap bounds the retained timeline of a
+// traced session to the newest events, reported via Report.Events.
+func TestTraceCapPublicAPI(t *testing.T) {
+	mgr, err := New(
+		WithCluster(ClusterConfig{Nodes: 4, Scale: 50 * time.Microsecond}),
+		WithTimeout(30*time.Second),
+		WithTrace(),
+		WithTraceCap(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	def := Diamond(DefaultDiamondSpec(2, 2, false))
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "split", "work", "merge")
+	h, err := mgr.Submit(context.Background(), def, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 5 {
+		t.Errorf("capped timeline length = %d, want 5", len(rep.Events))
+	}
+	// The newest events survive: a 2x2 diamond's last event is the exit
+	// task completing.
+	last := rep.Events[len(rep.Events)-1]
+	if last.Kind != EventTaskCompleted {
+		t.Errorf("last retained event = %v, want task-completed", last.Kind)
+	}
+}
+
+// TestWriteChromeTracePublicAPI: the exported trace converter renders a
+// session timeline into loadable trace_event JSON.
+func TestWriteChromeTracePublicAPI(t *testing.T) {
+	mgr, err := New(
+		WithCluster(ClusterConfig{Nodes: 4, Scale: 50 * time.Microsecond}),
+		WithTimeout(30*time.Second),
+		WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	def := Diamond(DefaultDiamondSpec(2, 2, false))
+	services := NewServiceRegistry()
+	services.RegisterNoop(0.1, "split", "work", "merge")
+	h, err := mgr.Submit(context.Background(), def, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, rep.Events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var slices int
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" {
+			slices++
+		}
+	}
+	if want := 2*2 + 2; slices != want {
+		t.Errorf("trace slices = %d, want %d (one per service invocation)", slices, want)
+	}
+}

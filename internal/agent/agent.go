@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"ginflow/internal/cluster"
 	"ginflow/internal/failure"
@@ -110,6 +111,10 @@ type Config struct {
 	Rand *rand.Rand
 	// Trace, when non-nil, records the agent's lifecycle events.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the agent's observability updates
+	// (invocation timings, retries, dedup suppressions). nil disables
+	// instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // Agent is one service agent incarnation. Create with New, Subscribe
@@ -151,6 +156,9 @@ type Agent struct {
 	// and is accepted. Touched only by the ingest goroutine.
 	seen map[string]map[int64]uint64
 	dups atomic.Int64
+
+	// met is the resolved instrument set (zero value: all no-ops).
+	met Metrics
 }
 
 // New builds an agent incarnation from its spec. The spec's template
@@ -171,6 +179,9 @@ func New(cfg Config) *Agent {
 		a.rng = cfg.Cluster.Rand()
 	}
 	a.engine = hocl.NewEngine()
+	if cfg.Metrics != nil {
+		a.met = *cfg.Metrics
+	}
 	a.bindFunctions()
 	return a
 }
@@ -259,6 +270,7 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 	}
 
 	dur := svc.InvocationDuration(a.rng)
+	startModel, startWall := a.clock().Now(), time.Now()
 	a.cfg.Trace.Record(trace.ServiceInvoked, a.name, a.cfg.Incarnation, string(svcName))
 	if plan := a.cfg.Injector.Next(); plan.Crash && plan.After <= dur {
 		// The failure hits while the service is still running (§V-D:
@@ -280,6 +292,8 @@ func (a *Agent) invoke(args []hocl.Atom) ([]hocl.Atom, error) {
 	}
 
 	result, err := svc.Invoke(params)
+	a.met.InvokeModel.Observe(a.clock().Now() - startModel)
+	a.met.InvokeWall.Observe(time.Since(startWall).Seconds())
 	if err != nil {
 		a.cfg.Trace.Record(trace.ServiceErrored, a.name, a.cfg.Incarnation, string(svcName))
 		return []hocl.Atom{hoclflow.AtomERROR}, nil
@@ -317,6 +331,7 @@ func (a *Agent) rideOutFaults(svcName string, dur float64) (float64, error) {
 			}
 			a.cfg.Trace.Record(trace.ServiceFaulted, a.name, a.cfg.Incarnation,
 				fmt.Sprintf("%s attempt %d: %v", svcName, attempt, f.Err))
+			a.met.Retries.Inc()
 			if attempt >= rc.MaxAttempts {
 				return 0, &EscalationError{
 					Task: a.name, Incarnation: a.cfg.Incarnation,
@@ -359,6 +374,7 @@ func (a *Agent) send(args []hocl.Atom) ([]hocl.Atom, error) {
 // interpreter that detected the failure messages ADAPT to the agents
 // hosting add_dst/mv_src rules and records TRIGGER in the shared space.
 func (a *Agent) fireTrigger(trig workflow.TriggerSpec) error {
+	a.met.Adaptations.Inc()
 	a.cfg.Trace.Record(trace.AdaptTriggered, a.name, a.cfg.Incarnation, trig.AdaptationID)
 	marker := hoclflow.AdaptMarker(trig.AdaptationID)
 	for _, peer := range trig.Notify {
@@ -497,6 +513,7 @@ func (a *Agent) ingestAtoms(atoms []hocl.Atom) {
 			atoms = atoms[1:]
 			if a.dupSeq(origin, n, atoms) {
 				a.dups.Add(1)
+				a.met.Dedup.Inc()
 				a.cfg.Trace.Record(trace.MessageDeduped, a.name, a.cfg.Incarnation,
 					fmt.Sprintf("%s#%d", origin, n))
 				return
@@ -551,6 +568,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	sub := a.sub
 	defer sub.Cancel()
 
+	a.met.Deployed.Inc()
 	a.cfg.Trace.Record(trace.AgentStarted, a.name, a.cfg.Incarnation, "")
 	if a.cfg.Incarnation > 0 {
 		if replayable, ok := a.cfg.Broker.(mq.Replayable); ok {

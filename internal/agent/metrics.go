@@ -1,0 +1,52 @@
+package agent
+
+import "ginflow/internal/obs"
+
+// Metrics is the set of resolved instruments an agent incarnation
+// updates. Resolve once per process or per session with NewMetrics and
+// share the value across incarnations: every field is an obs instrument
+// whose methods are nil-receiver-safe, so the zero Metrics (and a nil
+// Config.Metrics) is a no-op and the agent hot paths never branch on
+// instrumentation being present.
+type Metrics struct {
+	// InvokeModel observes the model-clock seconds of each finished
+	// service invocation, fault delays and retry backoffs included.
+	InvokeModel *obs.Histogram
+	// InvokeWall observes the wall-clock seconds of the same invocations
+	// — the real cost axis, excluded from determinism comparisons.
+	InvokeWall *obs.Histogram
+	// Retries counts transient-fault invocation attempts that were
+	// retried under the bounded backoff budget.
+	Retries *obs.Counter
+	// Dedup counts duplicated deliveries suppressed by the inbox
+	// sequence protocol.
+	Dedup *obs.Counter
+	// Deployed counts agent incarnation starts (recoveries included).
+	Deployed *obs.Counter
+	// Adaptations counts adaptation triggers fired by agents.
+	Adaptations *obs.Counter
+}
+
+// NewMetrics resolves the agent instrument set on reg (nil takes the
+// process default registry).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Metrics{
+		InvokeModel: reg.Histogram("ginflow_service_invoke_model_seconds",
+			"Model-clock duration of finished service invocations, fault delays and retries included.",
+			obs.ModelSecondsBuckets),
+		InvokeWall: reg.Histogram("ginflow_service_invoke_wall_seconds",
+			"Wall-clock duration of finished service invocations.",
+			obs.WallSecondsBuckets),
+		Retries: reg.Counter("ginflow_retry_attempts_total",
+			"Retries after transient faults, per boundary.", obs.L("boundary", "invoke")),
+		Dedup: reg.Counter("ginflow_dedup_suppressed_total",
+			"Duplicated deliveries suppressed by the inbox sequence protocol."),
+		Deployed: reg.Counter("ginflow_agents_deployed_total",
+			"Agent incarnations started (recoveries included)."),
+		Adaptations: reg.Counter("ginflow_adaptations_total",
+			"Adaptation triggers fired by agents."),
+	}
+}

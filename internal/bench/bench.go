@@ -24,6 +24,7 @@ import (
 	"ginflow/internal/executor"
 	"ginflow/internal/montage"
 	"ginflow/internal/mq"
+	"ginflow/internal/obs"
 	"ginflow/internal/workflow"
 )
 
@@ -180,7 +181,7 @@ type SweepPoint struct {
 }
 
 // SweepResult is one mode of the diamond scaling sweep in a
-// serialisable form (the -json artifact of ginflow-bench).
+// serialisable form (part of the -json artifact of ginflow-bench).
 type SweepResult struct {
 	Mode         string // "standalone" or "shared-manager"
 	BrokerShards int    // 0 = mq default
@@ -188,6 +189,15 @@ type SweepResult struct {
 	Fan          int // concurrent copies of each size (shared mode)
 	Points       []SweepPoint
 	WallSeconds  float64 // real time for the whole mode
+}
+
+// SweepArtifact is the -json artifact of ginflow-bench: the sweep
+// results of both modes plus a final snapshot of every metric family
+// the sweep produced, so timing numbers and the counters behind them
+// travel together.
+type SweepArtifact struct {
+	Results []SweepResult
+	Metrics []obs.FamilySnapshot
 }
 
 // SweepSizes returns the default scaling-sweep mesh sizes. The 24×24

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+
+	"ginflow/internal/core"
+	"ginflow/internal/executor"
+	"ginflow/internal/mq"
+	"ginflow/internal/workflow"
+)
+
+// TracedDiamondRun enacts one n×n simple-connected diamond on the
+// discrete-event virtual clock with the full event timeline retained,
+// and returns the run report. The backing for ginflow-bench -trace-out:
+// the report's Events feed trace.WriteChromeTrace, and because the run
+// is virtual the exported model-time spans are bit-identical across
+// same-seed invocations.
+func TracedDiamondRun(opts Options, n int) (*core.Report, error) {
+	opts = opts.withDefaults()
+	opts.Virtual = true
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(n, n, false))
+	rep, err := runOnce(opts, def, diamondServices(), core.Config{
+		Executor:     executor.KindSSH,
+		Broker:       mq.KindQueue,
+		BrokerShards: opts.BrokerShards,
+		Cluster:      opts.clusterConfig(25, opts.Seed),
+		CollectTrace: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("traced %dx%d diamond: %w", n, n, err)
+	}
+	return rep, nil
+}

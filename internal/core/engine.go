@@ -28,6 +28,7 @@ import (
 	"ginflow/internal/hoclflow"
 	"ginflow/internal/journal"
 	"ginflow/internal/mq"
+	"ginflow/internal/obs"
 	"ginflow/internal/trace"
 	"ginflow/internal/workflow"
 )
@@ -81,6 +82,21 @@ type Config struct {
 	// invocations, transfers, adaptations, crashes) into Report.Events.
 	// Live event streaming (Session.Events) works regardless.
 	CollectTrace bool
+	// TraceCap bounds each session's retained timeline to the newest N
+	// events (ring buffer; drops are counted). 0 retains everything —
+	// the historical behaviour.
+	TraceCap int
+
+	// MetricsAddr, when non-empty, serves the manager's observability
+	// endpoints on the given "host:port" (":0" picks a free port; see
+	// Manager.MetricsAddr): Prometheus text at /metrics, a JSON snapshot
+	// at /metrics.json and net/http/pprof under /debug/pprof/.
+	MetricsAddr string
+	// Metrics selects the registry the manager's instruments resolve on
+	// (nil takes the process-wide obs.Default()). A private registry
+	// isolates one manager's model-time metrics — e.g. to compare two
+	// same-seed virtual runs snapshot-for-snapshot.
+	Metrics *obs.Registry
 
 	// Journal configures the durable session journal (DESIGN.md
 	// "Durability & recovery"): when Journal.Dir is set, every

@@ -13,6 +13,7 @@ import (
 	"ginflow/internal/failure"
 	"ginflow/internal/journal"
 	"ginflow/internal/mq"
+	"ginflow/internal/obs"
 	"ginflow/internal/trace"
 	"ginflow/internal/transport"
 	"ginflow/internal/workflow"
@@ -69,6 +70,12 @@ type Manager struct {
 	// Config.Chaos is disabled); it is shared by the broker, the journal
 	// writers and every session's agents so one seed replays one run.
 	chaos *failure.Schedule
+	// reg is the manager's metrics registry; met its resolved
+	// instruments; metricsSrv the HTTP endpoint (nil without
+	// Config.MetricsAddr).
+	reg        *obs.Registry
+	met        *coreMetrics
+	metricsSrv *obs.Server
 
 	// inboxJournals dispatches the broker's publish observer to the
 	// active sessions' inbox write-through callbacks. Non-nil only when
@@ -92,12 +99,18 @@ type Manager struct {
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	clus := cluster.New(cfg.Cluster)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	cfg.Journal.Metrics = reg
 	var chaos *failure.Schedule
 	if cfg.Chaos.Enabled() {
 		chaos = failure.NewSchedule(cfg.Chaos)
 		// Backoff and injected delays sleep on the model clock, so chaos
 		// runs at the same accelerated scale as everything else.
 		chaos.SetSleeper(clus.Clock().Sleep)
+		chaos.SetMetrics(reg)
 		cfg.Journal.Chaos = chaos
 		cfg.Journal.Retry = cfg.Retry
 	}
@@ -105,9 +118,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg:     cfg,
 		cluster: clus,
 		chaos:   chaos,
+		reg:     reg,
 		active:  map[int64]*Session{},
 		events:  newHub[SessionEvent](managerEventBuffer),
 	}
+	m.met = newCoreMetrics(m, reg)
 	if cfg.Executor != executor.KindCentralized {
 		exec, err := executorFor(cfg, cfg.Executor)
 		if err != nil {
@@ -119,6 +134,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		}
 		m.exec = exec
 		m.broker = broker
+		if bm, ok := broker.(interface{ SetMetrics(*obs.Registry) }); ok {
+			bm.SetMetrics(reg)
+		}
 		if chaos != nil {
 			if ch, ok := broker.(mq.ChaosHost); ok {
 				ch.SetChaos(chaos)
@@ -171,6 +189,13 @@ func NewManager(cfg Config) (*Manager, error) {
 			})
 		}
 	}
+	if cfg.MetricsAddr != "" {
+		srv, err := obs.Serve(cfg.MetricsAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("core: metrics listener %q: %w", cfg.MetricsAddr, err)
+		}
+		m.metricsSrv = srv
+	}
 	return m, nil
 }
 
@@ -198,6 +223,20 @@ func (m *Manager) unregisterInboxJournal(id int64) {
 // Chaos exposes the manager's fault schedule (nil when Config.Chaos is
 // disabled); tests and tooling read its per-boundary injection counts.
 func (m *Manager) Chaos() *failure.Schedule { return m.chaos }
+
+// Metrics exposes the manager's metrics registry (Config.Metrics, or
+// the process-wide default when none was configured).
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// MetricsAddr returns the metrics endpoint's bound address, resolving a
+// ":0" Config.MetricsAddr to the picked port. Empty when the manager
+// serves no metrics endpoint.
+func (m *Manager) MetricsAddr() string {
+	if m.metricsSrv == nil {
+		return ""
+	}
+	return m.metricsSrv.Addr()
+}
 
 // ListenerAddr returns the transport listener's bound address — the
 // dial target for ginflow-node workers, resolving a ":0" Config.Listen
@@ -463,6 +502,9 @@ func (m *Manager) Close() error {
 	// publish lands after the broker is gone.
 	if m.server != nil {
 		m.server.Close()
+	}
+	if m.metricsSrv != nil {
+		m.metricsSrv.Close()
 	}
 	if m.broker != nil {
 		return m.broker.Close()

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"ginflow/internal/agent"
+	"ginflow/internal/obs"
+	"ginflow/internal/trace"
+)
+
+// coreMetrics is the manager's resolved instrument set: session
+// lifecycle counters, deployment/execution timing histograms on both
+// clock axes, and one counter per enactment event kind. Instruments are
+// resolved once per manager; the recorder sink and the session epilogue
+// only touch resolved pointers.
+type coreMetrics struct {
+	agents *agent.Metrics
+
+	sessionsStarted   *obs.Counter
+	sessionsCompleted *obs.Counter
+	sessionsFailed    *obs.Counter
+
+	deployModel *obs.Histogram // model seconds spent deploying
+	execModel   *obs.Histogram // model seconds enacting
+	sessionWall *obs.Histogram // wall seconds per session, end to end
+
+	deployRetries *obs.Counter // chaos-faulted deployment attempts retried
+
+	// eventKinds counts enactment events by kind. Kinds missing from
+	// the map (none today) resolve to a nil counter, whose Inc is a
+	// no-op.
+	eventKinds map[trace.Kind]*obs.Counter
+}
+
+// eventKindList enumerates every trace.Kind so each gets a counter
+// series up front (series appear in /metrics at zero instead of on
+// first occurrence).
+var eventKindList = []trace.Kind{
+	trace.AgentStarted, trace.ServiceInvoked, trace.ServiceCompleted,
+	trace.ServiceErrored, trace.ResultSent, trace.AdaptTriggered,
+	trace.AgentCrashed, trace.AgentRecovered, trace.TaskCompleted,
+	trace.SessionRecovered, trace.ServiceFaulted, trace.MessageDeduped,
+	trace.AgentEscalated, trace.EventsDropped,
+}
+
+// newCoreMetrics resolves the manager instrument set on reg and
+// registers the gauges that read live manager state.
+func newCoreMetrics(m *Manager, reg *obs.Registry) *coreMetrics {
+	cm := &coreMetrics{
+		agents: agent.NewMetrics(reg),
+		sessionsStarted: reg.Counter("ginflow_sessions_started_total",
+			"Workflow sessions submitted (recovered sessions included)."),
+		sessionsCompleted: reg.Counter("ginflow_sessions_completed_total",
+			"Workflow sessions that finished successfully."),
+		sessionsFailed: reg.Counter("ginflow_sessions_failed_total",
+			"Workflow sessions that ended in an error (stall, cancel, escalation)."),
+		deployModel: reg.Histogram("ginflow_session_deploy_model_seconds",
+			"Model-clock deployment time per session.", obs.ModelSecondsBuckets),
+		execModel: reg.Histogram("ginflow_session_exec_model_seconds",
+			"Model-clock execution time per session.", obs.ModelSecondsBuckets),
+		sessionWall: reg.Histogram("ginflow_session_wall_seconds",
+			"Wall-clock duration per session, submission to settled report.", obs.WallSecondsBuckets),
+		deployRetries: reg.Counter("ginflow_retry_attempts_total",
+			"Retries after transient faults, per boundary.", obs.L("boundary", "deploy")),
+		eventKinds: make(map[trace.Kind]*obs.Counter, len(eventKindList)),
+	}
+	for _, k := range eventKindList {
+		cm.eventKinds[k] = reg.Counter("ginflow_events_total",
+			"Enactment events recorded, by kind.", obs.L("kind", string(k)))
+	}
+	reg.GaugeFunc("ginflow_sessions_active",
+		"Workflow sessions currently running on this manager.",
+		func() float64 { return float64(m.Active()) })
+	reg.GaugeFunc("ginflow_model_time_seconds",
+		"Current model-clock reading of the manager's cluster.",
+		func() float64 { return m.cluster.Clock().Now() })
+	return cm
+}

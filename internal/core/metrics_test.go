@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ginflow/internal/executor"
+	"ginflow/internal/failure"
+	"ginflow/internal/mq"
+	"ginflow/internal/obs"
+	"ginflow/internal/workflow"
+)
+
+// runMetricsVirtual enacts one chaotic seeded 8x8 diamond on the
+// virtual clock against a fresh private registry and returns the
+// model-time metric families — the deterministic slice of the catalogue
+// (wall-clock families are excluded by construction; counters tied to
+// the post-completion message drain are excluded because the snapshot
+// races with it).
+func runMetricsVirtual(t *testing.T, seed int64) []obs.FamilySnapshot {
+	t.Helper()
+	reg := obs.NewRegistry()
+	m, err := NewManager(Config{
+		Executor: executor.KindSSH,
+		Broker:   mq.KindQueue,
+		Cluster:  virtualCluster(25, seed),
+		Timeout:  2 * time.Minute,
+		Chaos:    soakChaosMix(seed),
+		Retry:    failure.RetryConfig{MaxAttempts: 8, BackoffBase: 0.25},
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(8, 8, false))
+	s, err := m.Submit(context.Background(), def, diamondServices(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.FamilySnapshot
+	for _, f := range reg.Snapshot() {
+		if strings.Contains(f.Name, "_model_seconds") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestModelMetricsDeterministic: two same-seed virtual runs must report
+// bit-identical model-time metric families — every bucket count and
+// every float sum. This extends the virtual clock's determinism promise
+// (TestVirtualTimingDeterminism) to the metrics layer: model-time
+// observations are pure functions of the schedule.
+func TestModelMetricsDeterministic(t *testing.T) {
+	a := runMetricsVirtual(t, 7)
+	b := runMetricsVirtual(t, 7)
+	if len(a) < 3 {
+		t.Fatalf("model-time families = %d, want >= 3 (invoke, deploy, exec)", len(a))
+	}
+	observed := false
+	for _, f := range a {
+		for _, s := range f.Series {
+			if s.Count > 0 {
+				observed = true
+			}
+		}
+	}
+	if !observed {
+		t.Fatal("no model-time observations recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed virtual runs disagree on model-time metrics:\nrun A: %+v\nrun B: %+v", a, b)
+	}
+}
+
+// TestPrivateRegistryIsolation: a Manager given Config.Metrics must not
+// leak its session metrics into the process default registry, and two
+// managers with separate registries must not share counters.
+func TestPrivateRegistryIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := NewManager(Config{
+		Cluster: virtualCluster(4, 1),
+		Timeout: time.Minute,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	def := workflow.Diamond(workflow.DefaultDiamondSpec(2, 2, false))
+	s, err := m.Submit(context.Background(), def, diamondServices(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ginflow_sessions_completed_total",
+		"Workflow sessions that finished successfully.").Value(); got != 1 {
+		t.Errorf("private registry sessions_completed = %d, want 1", got)
+	}
+}

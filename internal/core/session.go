@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ginflow/internal/agent"
 	"ginflow/internal/cluster"
@@ -74,6 +75,9 @@ func newSession(m *Manager, id int64, def *workflow.Definition, services *agent.
 	}
 	if sub.CollectTrace {
 		s.recorder = trace.NewRecorder(m.cluster.Clock())
+		if m.cfg.TraceCap > 0 {
+			s.recorder.SetCap(m.cfg.TraceCap)
+		}
 	} else {
 		s.recorder = trace.NewForwarder(m.cluster.Clock())
 	}
@@ -82,6 +86,11 @@ func newSession(m *Manager, id int64, def *workflow.Definition, services *agent.
 	// stamped with the session ID.
 	s.recorder.AddSink(func(e trace.Event) {
 		m.events.publish(SessionEvent{SessionID: id, Event: e})
+	})
+	// Per-kind event counters: kinds outside the prebuilt map resolve to
+	// a nil counter, whose Inc is a no-op.
+	s.recorder.AddSink(func(e trace.Event) {
+		m.met.eventKinds[e.Kind].Inc()
 	})
 	return s
 }
@@ -211,12 +220,27 @@ func (s *Session) run(ctx context.Context) {
 	tctx, cancel := context.WithTimeoutCause(ctx, s.sub.Timeout, ErrStalled)
 	defer cancel()
 
+	met := s.mgr.met
+	met.sessionsStarted.Inc()
+	startWall := time.Now()
+
 	var rep *Report
 	var err error
 	if s.exec == nil {
 		rep, err = s.runCentralized(tctx)
 	} else {
 		rep, err = s.runDistributed(tctx)
+	}
+
+	met.sessionWall.Observe(time.Since(startWall).Seconds())
+	if rep != nil {
+		met.deployModel.Observe(rep.DeployTime)
+		met.execModel.Observe(rep.ExecTime)
+	}
+	if err == nil {
+		met.sessionsCompleted.Inc()
+	} else {
+		met.sessionsFailed.Inc()
 	}
 
 	s.settleJournal(err)
@@ -392,6 +416,7 @@ func (s *Session) deployWithRetry(ctx context.Context, specs []workflow.AgentSpe
 	rc := s.mgr.cfg.Retry.WithDefaults()
 	for attempt := 1; ; attempt++ {
 		if f := ch.Draw(failure.BoundaryDeploy); f.Kind == failure.FaultError {
+			s.mgr.met.deployRetries.Inc()
 			if attempt >= rc.MaxAttempts {
 				return nil, 0, fmt.Errorf("core: deployment after %d attempts: %w (%w)",
 					attempt, failure.ErrRetriesExhausted, f.Err)
@@ -576,8 +601,8 @@ func (s *Session) runDistributed(ctx context.Context) (*Report, error) {
 		injector: injector, placements: nodeOf,
 		topicPrefix: topicPrefix, spaceTopic: spaceTopic,
 		restartDelay: cfg.RestartDelay, maxRecoveries: cfg.MaxRecoveries,
-		recorder: s.recorder,
-		chaos:    s.mgr.chaos, retry: cfg.Retry,
+		recorder: s.recorder, metrics: s.mgr.met.agents,
+		chaos: s.mgr.chaos, retry: cfg.Retry,
 	}
 	var firstIncarnations []*agent.Agent
 	if useRemote {

@@ -38,6 +38,7 @@ type supervisor struct {
 	restartDelay  float64
 	maxRecoveries int
 	recorder      *trace.Recorder
+	metrics       *agent.Metrics
 
 	// chaos / retry parameterise the agents' transient-fault injection
 	// and retry budget (nil chaos disables it).
@@ -69,6 +70,7 @@ func (s *supervisor) newAgent(p executor.Placement, incarnation int) *agent.Agen
 		Trace:       s.recorder,
 		Chaos:       s.chaos,
 		Retry:       s.retry,
+		Metrics:     s.metrics,
 	})
 }
 

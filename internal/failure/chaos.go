@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"ginflow/internal/obs"
 )
 
 // This file grows the package beyond the agent-crash injector into a
@@ -348,6 +350,29 @@ type Schedule struct {
 	points  [boundaryCount]chaosPoint
 	sleepMu sync.RWMutex
 	sleeper func(seconds float64)
+
+	// obsDraws / obsFaults mirror the per-boundary draw and injected-
+	// fault counts into a metrics registry (SetMetrics); nil entries
+	// are ignored, so an un-wired schedule costs nothing extra.
+	obsDraws  [boundaryCount]*obs.Counter
+	obsFaults [boundaryCount]*obs.Counter
+}
+
+// SetMetrics mirrors the schedule's per-boundary draw and fault counts
+// into reg: ginflow_chaos_draws_total{boundary} counts every Draw and
+// ginflow_chaos_faults_total{boundary} the draws that injected a fault.
+// Install before traffic flows (counters start at the call).
+func (s *Schedule) SetMetrics(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	for b := Boundary(0); b < boundaryCount; b++ {
+		lbl := obs.L("boundary", b.String())
+		s.obsDraws[b] = reg.Counter("ginflow_chaos_draws_total",
+			"Fault-schedule draws per boundary.", lbl)
+		s.obsFaults[b] = reg.Counter("ginflow_chaos_faults_total",
+			"Injected chaos faults per boundary.", lbl)
+	}
 }
 
 type chaosPoint struct {
@@ -437,6 +462,7 @@ func (s *Schedule) Draw(b Boundary) Fault {
 	p := &s.points[b]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	s.obsDraws[b].Inc()
 	if s.cfg.MaxConsecutive > 0 && p.consec >= s.cfg.MaxConsecutive {
 		p.consec = 0
 		p.counts[FaultNone]++
@@ -447,6 +473,7 @@ func (s *Schedule) Draw(b Boundary) Fault {
 		p.consec = 0
 	} else {
 		p.consec++
+		s.obsFaults[b].Inc()
 	}
 	p.counts[f.Kind]++
 	return f

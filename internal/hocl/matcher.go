@@ -159,7 +159,9 @@ type Match struct {
 func MatchRule(r *Rule, sol *Solution, selfIdx int, funcs *Funcs, order []int) *Match {
 	var m matcher
 	m.reset(sol, funcs, order, nil)
-	return m.matchRule(r, selfIdx)
+	res := m.matchRule(r, selfIdx)
+	metGuardRejections.Add(m.guardRejects)
+	return res
 }
 
 type matcher struct {
@@ -192,6 +194,11 @@ type matcher struct {
 	// engine reuses the same machine for product evaluation, so neither
 	// a failed guard nor a firing allocates evaluation state.
 	vm evalVM
+
+	// guardRejects accumulates guard rejections locally; the engine
+	// flushes it to the package metrics once per Reduce, keeping the
+	// match loop free of atomics.
+	guardRejects int64
 }
 
 // reset prepares the matcher for a fresh match, reusing its slices and
@@ -246,6 +253,7 @@ func (m *matcher) run(prog []minstr, gprog []einstr) bool {
 			if m.vm.evalGuard(gprog, m.env, m.funcs) {
 				return true
 			}
+			m.guardRejects++
 			if !m.backtrack(&pc) {
 				return false
 			}

@@ -64,7 +64,14 @@ func (e *ErrDiverged) Error() string {
 // coherency problems.
 func (e *Engine) Reduce(sol *Solution) error {
 	e.steps = 0
-	return e.reduce(sol, 0)
+	err := e.reduce(sol, 0)
+	// Flush the pass's locally accumulated counts to the process-wide
+	// metrics — three atomic adds per Reduce, nothing per firing.
+	metReduceCalls.Inc()
+	metRuleFirings.Add(int64(e.steps))
+	metGuardRejections.Add(e.scratch.guardRejects)
+	e.scratch.guardRejects = 0
+	return err
 }
 
 // Steps returns the number of rule firings performed by the last Reduce.

@@ -37,6 +37,7 @@ import (
 
 	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
+	"ginflow/internal/obs"
 )
 
 // Record types of the segment frame format.
@@ -102,6 +103,39 @@ type Config struct {
 	// Retry bounds the write retry loop under Chaos (zero value takes the
 	// failure package defaults).
 	Retry failure.RetryConfig
+
+	// Metrics selects the registry journal I/O counters register in
+	// (nil = obs.Default()).
+	Metrics *obs.Registry
+}
+
+// jmetrics holds the journal's pre-resolved instruments; appendFrame is
+// a guarded 0-alloc hot path (BenchmarkJournalAppendStatus), so every
+// update is a single atomic increment on a resolved counter.
+type jmetrics struct {
+	appends   *obs.Counter
+	fsyncs    *obs.Counter
+	rotations *obs.Counter
+	tornTails *obs.Counter
+	retries   *obs.Counter
+}
+
+func newJMetrics(reg *obs.Registry) *jmetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &jmetrics{
+		appends: reg.Counter("ginflow_journal_appends_total",
+			"Framed records appended to session segments."),
+		fsyncs: reg.Counter("ginflow_journal_fsyncs_total",
+			"Segment fsyncs performed (Config.Sync checkpoints and rotations)."),
+		rotations: reg.Counter("ginflow_journal_rotations_total",
+			"Segment rotations (size-budget rollovers and recovery reseeds)."),
+		tornTails: reg.Counter("ginflow_journal_torn_tails_total",
+			"Torn segment tails detected and ignored during recovery reads."),
+		retries: reg.Counter("ginflow_retry_attempts_total",
+			"Retries after transient faults, per boundary.", obs.L("boundary", "journal-write")),
+	}
 }
 
 // Enabled reports whether the config selects a journal directory.
@@ -143,6 +177,7 @@ type SessionMeta struct {
 // Journal manages the session journals under one root directory.
 type Journal struct {
 	cfg Config
+	met *jmetrics
 }
 
 // Open prepares a journal rooted at cfg.Dir, creating the directory if
@@ -155,7 +190,7 @@ func Open(cfg Config) (*Journal, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Journal{cfg: cfg}, nil
+	return &Journal{cfg: cfg, met: newJMetrics(cfg.Metrics)}, nil
 }
 
 // Dir returns the journal root directory.
@@ -203,7 +238,7 @@ func (j *Journal) CreateSession(meta SessionMeta) (*SessionWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: session %d: %w", meta.ID, err)
 	}
-	w := &SessionWriter{cfg: j.cfg, dir: dir, meta: meta}
+	w := &SessionWriter{cfg: j.cfg, dir: dir, meta: meta, met: j.met}
 	if err := w.rotate(nil); err != nil {
 		return nil, err
 	}
@@ -223,7 +258,7 @@ func (j *Journal) ResumeSession(meta SessionMeta, snapshot []hocl.Atom, inbox []
 	if err != nil {
 		return nil, err
 	}
-	w := &SessionWriter{cfg: j.cfg, dir: dir, meta: meta}
+	w := &SessionWriter{cfg: j.cfg, dir: dir, meta: meta, met: j.met}
 	if n := len(segs); n > 0 {
 		w.segIndex = segs[n-1].index
 	}
@@ -243,6 +278,11 @@ type SessionWriter struct {
 	cfg  Config
 	dir  string
 	meta SessionMeta
+	// met holds the journal's resolved instruments; nil (a writer built
+	// outside Journal, tests only) disables them — every obs instrument
+	// is nil-receiver-safe, but the struct pointer itself needs a guard,
+	// so writers always get the owning Journal's non-nil met in practice.
+	met *jmetrics
 
 	mu           sync.Mutex
 	f            *os.File
@@ -353,7 +393,13 @@ func (w *SessionWriter) appendFrame(typ byte, payload []byte) error {
 		if err == nil {
 			w.size += int64(len(buf))
 			w.records++
+			if w.met != nil {
+				w.met.appends.Inc()
+			}
 			return nil
+		}
+		if w.met != nil {
+			w.met.retries.Inc()
 		}
 		// A partial write — injected torn frame or a real short write —
 		// leaves garbage past the last frame boundary; cut it off so the
@@ -539,6 +585,9 @@ func (w *SessionWriter) rotateLocked(snapshot []hocl.Atom) error {
 	}
 	old := w.f
 	oldIndex := w.segIndex
+	if old != nil && w.met != nil {
+		w.met.rotations.Inc()
+	}
 	w.f, w.segIndex, w.size, w.sinceSnap = f, next, 0, 0
 	if err := w.appendFrame(recWorkflow, metaJSON); err != nil {
 		return err
@@ -589,6 +638,9 @@ func (w *SessionWriter) maybeSync() error {
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("journal: session %d: %w", w.meta.ID, err)
+	}
+	if w.met != nil {
+		w.met.fsyncs.Inc()
 	}
 	return nil
 }

@@ -81,9 +81,13 @@ func (j *Journal) ReadSession(id int64) (*SessionState, error) {
 			}
 			continue
 		}
+		if st.TornBytes > 0 {
+			j.met.tornTails.Inc()
+		}
 		return st, nil
 	}
 	if tornHead != nil {
+		j.met.tornTails.Inc()
 		return tornHead, nil
 	}
 	return nil, fmt.Errorf("journal: session %d: no intact segment: %w", id, lastErr)

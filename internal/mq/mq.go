@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,7 @@ import (
 	"ginflow/internal/cluster"
 	"ginflow/internal/failure"
 	"ginflow/internal/hocl"
+	"ginflow/internal/obs"
 )
 
 // Message is one published datum. A message carries its content in one of
@@ -195,6 +197,15 @@ type shard struct {
 	mu   sync.RWMutex
 	subs map[string][]*subscriber
 
+	// Per-shard observability series (nil until SetMetrics), handed to
+	// subscribers at registration so the hot enqueue/hand-off paths touch
+	// resolved instrument pointers only. Written under mu; read under mu
+	// (Subscribe) — existing subscribers keep whatever they got, which is
+	// why SetMetrics must run before traffic flows.
+	metDeliveries *obs.Counter
+	metBatches    *obs.Counter
+	metPending    *obs.Gauge
+
 	// qmu serialises the occupancy bookkeeping of this shard: a shard
 	// models one middleware instance (partition), so its messages queue
 	// behind each other. nextFree is the model-time instant the shard
@@ -233,6 +244,13 @@ type common struct {
 
 	nextID    atomic.Int64
 	published atomic.Int64
+
+	// metPublished / metBatchSize mirror the broker counters into an obs
+	// registry once SetMetrics runs. Atomic pointers: installation needs
+	// no publish-path lock, and obs instruments are nil-receiver-safe so
+	// the unmetered path pays one pointer load.
+	metPublished atomic.Pointer[obs.Counter]
+	metBatchSize atomic.Pointer[obs.Histogram]
 }
 
 func newCommon(clock *cluster.Clock, latency, svcTime float64, nshards int) *common {
@@ -270,6 +288,33 @@ func (c *common) shardIndex(topic string) int {
 // ShardCount returns the number of shards.
 func (c *common) ShardCount() int { return len(c.shards) }
 
+// SetMetrics registers the broker's observability series on reg (nil
+// takes the process default registry): total publishes, per-shard
+// delivery and batch counters, per-shard pending-depth gauges and a
+// batch-size histogram. Call before any traffic flows — subscribers
+// capture their shard's instruments at Subscribe time.
+func (c *common) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	c.metPublished.Store(reg.Counter("ginflow_mq_published_total",
+		"Messages accepted by the broker (all topics, all shards)."))
+	c.metBatchSize.Store(reg.Histogram("ginflow_mq_batch_size",
+		"Messages per delivery batch handed to a subscriber.", obs.BatchSizeBuckets))
+	for i, sh := range c.shards {
+		lbl := obs.L("shard", strconv.Itoa(i))
+		d := reg.Counter("ginflow_mq_deliveries_total",
+			"Messages enqueued to subscribers, per shard (duplicates from chaos included).", lbl)
+		b := reg.Counter("ginflow_mq_delivery_batches_total",
+			"Delivery batches handed to subscribers, per shard.", lbl)
+		p := reg.Gauge("ginflow_mq_pending_messages",
+			"Messages enqueued but not yet handed to their subscriber, per shard.", lbl)
+		sh.mu.Lock()
+		sh.metDeliveries, sh.metBatches, sh.metPending = d, b, p
+		sh.mu.Unlock()
+	}
+}
+
 // subscriber is one consumer's delivery state: an unbounded pending
 // queue filled by publishers and drained by a per-subscriber goroutine
 // that hands due messages over in batches.
@@ -304,10 +349,20 @@ type subscriber struct {
 	// use of Subscription.C.
 	flatOnce sync.Once
 	flat     chan Message
+
+	// Observability instruments captured from the shard at Subscribe.
+	// All nil for push-fed subscriptions and unmetered brokers — obs
+	// instruments are nil-receiver-safe, so the hot paths never branch.
+	metDeliveries *obs.Counter
+	metBatches    *obs.Counter
+	metPending    *obs.Gauge
+	metBatchSize  *obs.Histogram
 }
 
 // enqueue appends a delivery without blocking the publisher.
 func (s *subscriber) enqueue(tm timedMsg) {
+	s.metDeliveries.Inc()
+	s.metPending.Add(1)
 	s.mu.Lock()
 	s.queue = append(s.queue, tm)
 	s.mu.Unlock()
@@ -391,6 +446,9 @@ func (s *subscriber) flush(batch []timedMsg) bool {
 		select {
 		case s.out <- buf:
 			s.cur = 1 - s.cur
+			s.metBatches.Inc()
+			s.metBatchSize.Observe(float64(len(buf)))
+			s.metPending.Add(-float64(len(buf)))
 		case <-s.done:
 			return false
 		}
@@ -536,6 +594,9 @@ func (sub *subscriber) takeDueLocked(now float64) []Message {
 		sub.queue[i] = timedMsg{}
 	}
 	sub.queue = sub.queue[:n]
+	sub.metBatches.Inc()
+	sub.metBatchSize.Observe(float64(cut))
+	sub.metPending.Add(-float64(cut))
 	return batch
 }
 
@@ -566,6 +627,8 @@ func (c *common) Subscribe(topic string) (*Subscription, error) {
 	}
 	sh.mu.Lock()
 	sh.subs[topic] = append(sh.subs[topic], sub)
+	sub.metDeliveries, sub.metBatches, sub.metPending = sh.metDeliveries, sh.metBatches, sh.metPending
+	sub.metBatchSize = c.metBatchSize.Load()
 	sh.mu.Unlock()
 	c.mu.RUnlock()
 	if sub.vcond == nil {
@@ -645,6 +708,7 @@ func (c *common) removeSub(sh *shard, topic string, id int64) {
 // never blocks: backpressure moved from the publisher to the consumer's
 // batch hand-off.
 func (c *common) deliver(msg Message) {
+	c.metPublished.Load().Inc()
 	sh := c.shardFor(msg.Topic)
 	svc := math.Float64frombits(c.svcTime.Load())
 	now := c.clock.Now()

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE header each, series sorted by label signature.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		f := r.families[name]
+		series := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range series {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.counter.Value())
+			case typeGauge:
+				v := s.gauge.Value()
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.key, formatFloat(v))
+			case typeHistogram:
+				writeHistProm(bw, f, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistProm renders one histogram series: cumulative _bucket lines
+// (le is inclusive), then _sum and _count.
+func writeHistProm(w io.Writer, f *family, s *series) {
+	cum := int64(0)
+	for i, ub := range s.hist.upper {
+		cum += s.hist.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.key, formatFloat(ub)), cum)
+	}
+	cum += s.hist.counts[len(s.hist.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.key, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.key, formatFloat(s.hist.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.key, cum)
+}
+
+// withLE merges an le label into a rendered label signature.
+func withLE(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return key[:len(key)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a sample value per the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot types: the JSON form of the registry, also the structural
+// form tests diff (the cross-mode determinism test compares snapshots
+// of two same-seed virtual runs for bit-identical equality).
+type (
+	// FamilySnapshot is one metric family with all its series.
+	FamilySnapshot struct {
+		Name   string           `json:"name"`
+		Help   string           `json:"help,omitempty"`
+		Type   string           `json:"type"`
+		Series []SeriesSnapshot `json:"series"`
+	}
+	// SeriesSnapshot is one labelled series' current value(s).
+	SeriesSnapshot struct {
+		Labels map[string]string `json:"labels,omitempty"`
+		// Value holds counter and gauge values (counters as exact
+		// integers).
+		Value float64 `json:"value"`
+		// Count/Sum/Buckets are set for histograms only; bucket counts
+		// are non-cumulative per finite bucket, with the overflow bucket
+		// last (le "+Inf").
+		Count   int64            `json:"count,omitempty"`
+		Sum     float64          `json:"sum,omitempty"`
+		Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	}
+	// BucketSnapshot is one histogram bucket. LE is the rendered upper
+	// bound ("+Inf" for the overflow bucket) so the snapshot survives
+	// JSON, which cannot carry infinities.
+	BucketSnapshot struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+)
+
+// Snapshot captures every family's current state, sorted by name.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	names := r.sortedNames()
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		series := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: string(f.typ)}
+		for _, s := range series {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for _, l := range s.labels {
+					ss.Labels[l.Name] = l.Value
+				}
+			}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = float64(s.counter.Value())
+			case typeGauge:
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = s.gauge.Value()
+				}
+			case typeHistogram:
+				ss.Count = s.hist.Count()
+				ss.Sum = s.hist.Sum()
+				for i, ub := range s.hist.upper {
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: formatFloat(ub), Count: s.hist.counts[i].Load()})
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: "+Inf", Count: s.hist.counts[len(s.hist.upper)].Load()})
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON (the /metrics.json
+// body).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Exposition validation: a promlint-style checker used by the golden
+// test and the CI metrics-smoke step. It verifies the subset of the
+// format this package emits — and the conventions the engine's metric
+// catalogue follows.
+
+var (
+	expoNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	expoLabelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ValidateExposition checks a Prometheus text exposition body:
+//
+//   - every sample line parses (name, optional labels, float value);
+//   - every sample's family has a preceding # TYPE line, declared once;
+//   - counter family names end in _total (promlint convention);
+//   - histogram families expose _bucket series with monotonically
+//     non-decreasing cumulative counts, a terminal le="+Inf" bucket,
+//     and matching _sum/_count samples.
+//
+// It returns the first violation found, or nil for a valid body.
+func ValidateExposition(data []byte) error {
+	type famState struct {
+		typ string
+		// per label-signature histogram bucket state
+		lastCum  map[string]int64
+		sawInf   map[string]bool
+		infCount map[string]int64
+		sawCount map[string]bool
+	}
+	families := map[string]*famState{}
+	samples := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if !expoNameRe.MatchString(parts[0]) {
+				return fmt.Errorf("line %d: bad HELP metric name %q", lineNo, parts[0])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !expoNameRe.MatchString(parts[0]) {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if families[name] != nil {
+				return fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter %s should end in _total", lineNo, name)
+			}
+			families[name] = &famState{
+				typ:     typ,
+				lastCum: map[string]int64{}, sawInf: map[string]bool{},
+				infCount: map[string]int64{}, sawCount: map[string]bool{},
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		fam, suffix := families[name], ""
+		if fam == nil {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, sfx); base != name && families[base] != nil {
+					fam, suffix = families[base], sfx
+					break
+				}
+			}
+		}
+		if fam == nil {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if fam.typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram %s exposes a bare sample", lineNo, name)
+			}
+			sig := labelSigWithoutLE(labels)
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: %s without le label", lineNo, name)
+				}
+				cum := int64(value)
+				if cum < fam.lastCum[sig] {
+					return fmt.Errorf("line %d: %s cumulative bucket counts decreased", lineNo, name)
+				}
+				fam.lastCum[sig] = cum
+				if le == "+Inf" {
+					fam.sawInf[sig] = true
+					fam.infCount[sig] = cum
+				}
+			case "_count":
+				fam.sawCount[sig] = true
+				if !fam.sawInf[sig] {
+					return fmt.Errorf("line %d: %s before an le=\"+Inf\" bucket", lineNo, name)
+				}
+				if int64(value) != fam.infCount[sig] {
+					return fmt.Errorf("line %d: %s (%d) != +Inf bucket count (%d)",
+						lineNo, name, int64(value), fam.infCount[sig])
+				}
+			}
+		} else if labelValue0(labels, "le") {
+			return fmt.Errorf("line %d: le label on non-histogram %s", lineNo, name)
+		}
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition body")
+	}
+	for name, fam := range families {
+		if fam.typ != "histogram" {
+			continue
+		}
+		for sig := range fam.sawInf {
+			if !fam.sawCount[sig] {
+				return fmt.Errorf("histogram %s%s missing _count sample", name, sig)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, label pairs and value.
+func parseSample(line string) (string, []Label, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	var name string
+	var labels []Label
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[brace+1 : end]) {
+			m := expoLabelRe.FindStringSubmatch(pair)
+			if m == nil {
+				return "", nil, 0, fmt.Errorf("bad label pair %q", pair)
+			}
+			labels = append(labels, Label{Name: m[1], Value: m[2]})
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in sample %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if !expoNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	// A timestamp may follow the value; this package never emits one.
+	valueField := strings.Fields(rest)
+	if len(valueField) < 1 {
+		return "", nil, 0, fmt.Errorf("no value in sample %q", line)
+	}
+	v, err := parseValue(valueField[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", valueField[0], err)
+	}
+	return name, labels, v, nil
+}
+
+// parseValue parses a sample value, accepting the exposition-format
+// infinity spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// labelSigWithoutLE renders the label pairs minus le, as a histogram
+// series signature.
+func labelSigWithoutLE(labels []Label) string {
+	var parts []string
+	for _, l := range labels {
+		if l.Name != "le" {
+			parts = append(parts, l.Name+"="+l.Value)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// labelValue returns the value of the named label.
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// labelValue0 reports whether the named label is present.
+func labelValue0(labels []Label, name string) bool {
+	_, ok := labelValue(labels, name)
+	return ok
+}

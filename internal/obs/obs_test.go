@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the rendered text format: family order,
+// HELP/TYPE headers, label rendering, cumulative histogram buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ginflow_test_events_total", "Events seen.", L("kind", "a")).Add(3)
+	r.Counter("ginflow_test_events_total", "Events seen.", L("kind", "b")).Inc()
+	r.Gauge("ginflow_test_depth", "Queue depth.").Set(2.5)
+	h := r.Histogram("ginflow_test_latency_seconds", "Latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ginflow_test_depth Queue depth.
+# TYPE ginflow_test_depth gauge
+ginflow_test_depth 2.5
+# HELP ginflow_test_events_total Events seen.
+# TYPE ginflow_test_events_total counter
+ginflow_test_events_total{kind="a"} 3
+ginflow_test_events_total{kind="b"} 1
+# HELP ginflow_test_latency_seconds Latency.
+# TYPE ginflow_test_latency_seconds histogram
+ginflow_test_latency_seconds_bucket{le="1"} 1
+ginflow_test_latency_seconds_bucket{le="2"} 2
+ginflow_test_latency_seconds_bucket{le="4"} 3
+ginflow_test_latency_seconds_bucket{le="+Inf"} 4
+ginflow_test_latency_seconds_sum 105
+ginflow_test_latency_seconds_count 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("golden exposition failed validation: %v", err)
+	}
+}
+
+// TestValidateExpositionRejects exercises the promlint-style checks on
+// hand-built invalid bodies.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the expected error
+	}{
+		{"empty", "", "no samples"},
+		{"no type", "foo 1\n", "no preceding # TYPE"},
+		{"counter suffix", "# TYPE foo counter\nfoo 1\n", "_total"},
+		{"duplicate family", "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n", "declared twice"},
+		{"bad value", "# TYPE b gauge\nb nope\n", "bad value"},
+		{"bare histogram sample", "# TYPE h histogram\nh 1\n", "bare sample"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\n", "without le"},
+		{"decreasing buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" + "h_count 3\n",
+			"decreased"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\n" + "h_count 4\n",
+			"+Inf bucket count"},
+		{"missing count", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\n" + "h_sum 1\n",
+			"missing _count"},
+		{"le on gauge", "# TYPE g gauge\n" + `g{le="1"} 3` + "\n", "le label on non-histogram"},
+		{"unknown type", "# TYPE x widget\nx 1\n", "unknown metric type"},
+	}
+	for _, tc := range cases {
+		err := ValidateExposition([]byte(tc.body))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRegistryGetOrCreate verifies the sharing and panic contracts:
+// same name+labels yields the same instrument, different labels a
+// sibling series, and type or name violations panic.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "1"))
+	b := r.Counter("x_total", "x", L("k", "1"))
+	c := r.Counter("x_total", "x", L("k", "2"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if a == c {
+		t.Error("distinct labels shared one counter")
+	}
+	a.Inc()
+	if got := b.Value(); got != 1 {
+		t.Errorf("shared counter value = %d, want 1", got)
+	}
+
+	mustPanic(t, "type mismatch", func() { r.Gauge("x_total", "x") })
+	mustPanic(t, "invalid metric name", func() { r.Counter("0bad", "x") })
+	mustPanic(t, "invalid label name", func() { r.Counter("ok_total", "x", L("0bad", "v")) })
+	mustPanic(t, "empty buckets", func() { r.Histogram("h", "x", nil) })
+	mustPanic(t, "non-increasing buckets", func() { r.Histogram("h", "x", []float64{1, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestNilInstruments locks the nil-receiver no-op contract the hot
+// paths rely on (instrumented code never guards).
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+}
+
+// TestConcurrentHammer races many writers against concurrent renders;
+// run under -race this is the registry's data-race proof, and the final
+// counts must be exact (no lost updates).
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			// Resolve inside the goroutine too: get-or-create must be safe
+			// concurrently with itself and with renders.
+			c := r.Counter("hammer_total", "h", L("g", fmt.Sprint(n%4)))
+			ga := r.Gauge("hammer_depth", "h")
+			h := r.Histogram("hammer_seconds", "h", []float64{1, 10, 100})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(j % 200))
+			}
+		}(i)
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.WriteProm(io.Discard)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := int64(0)
+	for i := 0; i < 4; i++ {
+		total += r.Counter("hammer_total", "h", L("g", fmt.Sprint(i))).Value()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Errorf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("hammer_depth", "h").Value(); got != float64(goroutines*perG) {
+		t.Errorf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("hammer_seconds", "h", []float64{1, 10, 100}).Count(); got != int64(goroutines*perG) {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Errorf("post-hammer exposition invalid: %v", err)
+	}
+}
+
+// TestHistogramBucketProperty drives a histogram with seeded random
+// values and checks every bucket count against a reference
+// implementation, plus the le-inclusive boundary rule on exact bounds.
+func TestHistogramBucketProperty(t *testing.T) {
+	bounds := ExpBuckets(0.25, 2, 12)
+	r := NewRegistry()
+	h := r.Histogram("prop_seconds", "p", bounds)
+
+	ref := make([]int64, len(bounds)+1) // reference, overflow last
+	refBucket := func(v float64) int {
+		for i, ub := range bounds {
+			if v <= ub {
+				return i
+			}
+		}
+		return len(bounds)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		var v float64
+		switch i % 5 {
+		case 0:
+			v = bounds[rng.Intn(len(bounds))] // exact boundary: le is inclusive
+		case 1:
+			v = rng.Float64() * 1000 // spread across and beyond the range
+		default:
+			v = rng.ExpFloat64() * 4
+		}
+		h.Observe(v)
+		ref[refBucket(v)]++
+		sum += v
+	}
+
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %v, want %v (same addition order, must be bit-identical)", h.Sum(), sum)
+	}
+	for i := range ref {
+		if got := h.counts[i].Load(); got != ref[i] {
+			t.Errorf("bucket %d: got %d, want %d", i, got, ref[i])
+		}
+	}
+}
+
+// TestGaugeFunc verifies callback gauges render live values and that
+// re-registration replaces the callback (latest owner wins).
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("live", "l", func() float64 { return v })
+	v = 7
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Series[0].Value != 7 {
+		t.Fatalf("GaugeFunc snapshot = %+v, want value 7", snap)
+	}
+	r.GaugeFunc("live", "l", func() float64 { return 42 })
+	if got := r.Snapshot()[0].Series[0].Value; got != 42 {
+		t.Errorf("re-registered GaugeFunc = %v, want 42", got)
+	}
+}
+
+// TestSnapshotJSONRoundTrip checks the /metrics.json body parses back
+// into the snapshot types, including the +Inf bucket's string form.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("rt_seconds", "r", []float64{1}).Observe(5)
+	r.Counter("rt_total", "r").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap []FamilySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("got %d families, want 2", len(snap))
+	}
+	buckets := snap[0].Series[0].Buckets
+	if len(buckets) != 2 || buckets[1].LE != "+Inf" || buckets[1].Count != 1 {
+		t.Errorf("histogram buckets = %+v, want terminal +Inf bucket with count 1", buckets)
+	}
+}
+
+// TestServeEndpoints boots the HTTP surface on a loopback port and
+// checks all three mounts respond with sane bodies.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "s").Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Errorf("/metrics body invalid: %v", err)
+	}
+	if !strings.Contains(body, "served_total 1") {
+		t.Errorf("/metrics missing sample:\n%s", body)
+	}
+
+	body, ct = get("/metrics.json")
+	if ct != "application/json" {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var snap []FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("/metrics.json not parseable: %v", err)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.200s", body)
+	}
+}
+
+// TestCounterNamesSorted locks the exposition family ordering (sorted
+// by name) that the golden test and scrapers rely on.
+func TestCounterNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"c_total", "a_total", "b_total"} {
+		r.Counter(name, "x")
+	}
+	names := r.sortedNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("family names not sorted: %v", names)
+	}
+}
+
+// BenchmarkCounterInc is the hot-path ceiling: a single atomic add,
+// 0 allocs/op (gated by benchguard via internal/bench/baseline.json).
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "b")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the histogram hot path (bucket
+// scan + three atomics), also 0 allocs/op.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "b", ModelSecondsBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 0.5)
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ginflow/internal/cluster"
+)
+
+// TestSetCapRing exercises the ring-buffer retention bound: overwrite
+// order, the dropped counter, shrink-below-length, and restoring
+// unbounded retention.
+func TestSetCapRing(t *testing.T) {
+	clock := cluster.NewVirtualClock()
+	r := NewRecorder(clock)
+	r.SetCap(3)
+	for i := 1; i <= 5; i++ {
+		clock.AdvanceTo(float64(i))
+		r.Record(ResultSent, "T", i, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	events := r.Events()
+	for i, want := range []float64{3, 4, 5} {
+		if events[i].At != want {
+			t.Errorf("event[%d].At = %v, want %v (newest 3 must survive)", i, events[i].At, want)
+		}
+	}
+
+	// Shrinking below the current length discards the oldest surplus.
+	r.SetCap(1)
+	if r.Len() != 1 || r.Events()[0].At != 5 {
+		t.Errorf("after shrink: len=%d events=%v, want only the newest", r.Len(), r.Events())
+	}
+	if r.Dropped() != 4 {
+		t.Errorf("dropped = %d, want 4", r.Dropped())
+	}
+
+	// Restoring unbounded retention grows again.
+	r.SetCap(0)
+	clock.AdvanceTo(6)
+	r.Record(ResultSent, "T", 6, "")
+	clock.AdvanceTo(7)
+	r.Record(ResultSent, "T", 7, "")
+	if r.Len() != 3 {
+		t.Errorf("after uncapping: len = %d, want 3", r.Len())
+	}
+
+	// Nil recorder stays safe.
+	var nilRec *Recorder
+	nilRec.SetCap(2)
+	if nilRec.Dropped() != 0 {
+		t.Error("nil recorder dropped != 0")
+	}
+}
+
+// TestSetCapMidRing re-bounds a recorder whose ring has already
+// wrapped (start > 0), the aliasing-sensitive path of SetCap.
+func TestSetCapMidRing(t *testing.T) {
+	clock := cluster.NewVirtualClock()
+	r := NewRecorder(clock)
+	r.SetCap(4)
+	for i := 1; i <= 6; i++ { // wraps twice: ring holds 3,4,5,6 with start=2
+		clock.AdvanceTo(float64(i))
+		r.Record(ResultSent, "T", i, "")
+	}
+	r.SetCap(2)
+	events := r.Events()
+	if len(events) != 2 || events[0].At != 5 || events[1].At != 6 {
+		t.Errorf("mid-ring re-bound kept %v, want [5 6]", events)
+	}
+	clock.AdvanceTo(7)
+	r.Record(ResultSent, "T", 7, "")
+	events = r.Events()
+	if len(events) != 2 || events[0].At != 6 || events[1].At != 7 {
+		t.Errorf("post-re-bound ring = %v, want [6 7]", events)
+	}
+}
+
+// TestWriteChromeTrace locks the trace_event mapping: a metadata row
+// per task, matched invocations as complete "X" slices with model
+// seconds scaled to microseconds, everything else as instants.
+func TestWriteChromeTrace(t *testing.T) {
+	clock := cluster.NewVirtualClock()
+	r := NewRecorder(clock)
+	clock.AdvanceTo(1)
+	r.Record(AgentStarted, "T1", 0, "")
+	clock.AdvanceTo(2)
+	r.Record(ServiceInvoked, "T1", 0, "work")
+	clock.AdvanceTo(4.5)
+	r.Record(ServiceCompleted, "T1", 0, "work")
+	clock.AdvanceTo(5)
+	r.Record(ServiceInvoked, "T2", 1, "flaky")
+	clock.AdvanceTo(6)
+	r.Record(ServiceErrored, "T2", 1, "flaky")
+	clock.AdvanceTo(7)
+	r.Record(AgentCrashed, "T2", 1, "boom")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	byPh := map[string]int{}
+	var slices, metas int
+	for _, e := range out.TraceEvents {
+		byPh[e.Ph]++
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name != "thread_name" {
+				t.Errorf("metadata name = %q", e.Name)
+			}
+		case "X":
+			slices++
+			switch e.Name {
+			case "work":
+				if e.Ts != 2e6 || e.Dur != 2.5e6 {
+					t.Errorf("work slice ts=%v dur=%v, want 2e6/2.5e6", e.Ts, e.Dur)
+				}
+				if e.Args["error"] != false {
+					t.Errorf("work slice error = %v", e.Args["error"])
+				}
+			case "flaky":
+				if e.Args["error"] != true {
+					t.Errorf("errored slice not flagged: %v", e.Args)
+				}
+			default:
+				t.Errorf("unexpected slice %q", e.Name)
+			}
+		}
+	}
+	if metas != 2 {
+		t.Errorf("thread metadata rows = %d, want 2 (one per task)", metas)
+	}
+	if slices != 2 {
+		t.Errorf("X slices = %d, want 2", slices)
+	}
+	// agent-started and agent-crashed become instants; the four
+	// invocation events were consumed by the slices.
+	if byPh["i"] != 2 {
+		t.Errorf("instants = %d, want 2", byPh["i"])
+	}
+}
+
+// TestWriteChromeTraceEmpty: an empty timeline still renders a valid,
+// loadable document (traceEvents present, not null).
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["traceEvents"]) != "[]" {
+		t.Errorf("traceEvents = %s, want []", raw["traceEvents"])
+	}
+}

@@ -86,7 +86,13 @@ type Recorder struct {
 
 	mu     sync.Mutex
 	events []Event
-	sinks  []func(Event)
+	// cap bounds the retained timeline (0 = unbounded, the default).
+	// When full, the ring overwrites the oldest event — start is the
+	// ring head — and dropped counts the overwritten events.
+	cap     int
+	start   int
+	dropped int64
+	sinks   []func(Event)
 }
 
 // NewRecorder returns a recorder stamping events with the given clock
@@ -126,13 +132,60 @@ func (r *Recorder) Record(kind Kind, task string, incarnation int, info string) 
 	e := Event{At: at, Kind: kind, Task: task, Incarnation: incarnation, Info: info}
 	r.mu.Lock()
 	if r.retain {
-		r.events = append(r.events, e)
+		if r.cap > 0 && len(r.events) == r.cap {
+			// Ring full: overwrite the oldest event.
+			r.events[r.start] = e
+			r.start = (r.start + 1) % r.cap
+			r.dropped++
+			obsDropped.Inc()
+		} else {
+			r.events = append(r.events, e)
+		}
 	}
 	sinks := r.sinks
 	r.mu.Unlock()
 	for _, fn := range sinks {
 		fn(e)
 	}
+}
+
+// SetCap bounds the retained timeline to the newest n events, turning
+// the retention buffer into a ring: once full, each new event
+// overwrites the oldest and counts into Dropped. n <= 0 restores
+// unbounded retention (the default). Shrinking below the current
+// length discards the oldest surplus immediately.
+func (r *Recorder) SetCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Normalise the ring into record order before re-bounding it.
+	if r.start > 0 {
+		r.events = append(r.events[r.start:], r.events[:r.start]...)
+		r.start = 0
+	}
+	if n <= 0 {
+		r.cap = 0
+		return
+	}
+	r.cap = n
+	if surplus := len(r.events) - n; surplus > 0 {
+		r.events = append([]Event(nil), r.events[surplus:]...)
+		r.dropped += int64(surplus)
+		obsDropped.Add(int64(surplus))
+	}
+}
+
+// Dropped reports how many retained events the ring-buffer cap
+// (SetCap) has overwritten or discarded.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy of the timeline, sorted by model time (record
@@ -142,7 +195,9 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	r.mu.Lock()
-	out := append([]Event(nil), r.events...)
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out

@@ -173,8 +173,10 @@ func (rb *RemoteBroker) run(conn net.Conn) {
 			if err == nil {
 				conn = next
 				backoff = 50 * time.Millisecond
+				metReconnects.Inc()
 				break
 			}
+			metRetryDials.Inc()
 		}
 	}
 }

@@ -101,6 +101,9 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	buf = append(buf, typ)
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	if err == nil {
+		metFramesSent.Inc()
+	}
 	return err
 }
 
@@ -127,6 +130,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
+	metFramesReceived.Inc()
 	return typ, payload, nil
 }
 

@@ -48,6 +48,7 @@ func (l *link) send(typ byte, build func(seq uint64) []byte) {
 	l.nextSeq++
 	payload := build(l.nextSeq)
 	l.outbox = append(l.outbox, sentFrame{seq: l.nextSeq, typ: typ, payload: payload})
+	metUnacked.Add(1)
 	if l.conn != nil {
 		if err := writeFrame(l.conn, typ, payload); err != nil {
 			l.conn.Close()
@@ -68,6 +69,7 @@ func (l *link) sendWait(typ byte, build func(seq uint64) []byte) <-chan struct{}
 	seq := l.nextSeq
 	payload := build(seq)
 	l.outbox = append(l.outbox, sentFrame{seq: seq, typ: typ, payload: payload})
+	metUnacked.Add(1)
 	if l.conn != nil {
 		if err := writeFrame(l.conn, typ, payload); err != nil {
 			l.conn.Close()
@@ -113,6 +115,7 @@ func (l *link) onAck(seq uint64) {
 	}
 	if i > 0 {
 		l.outbox = append(l.outbox[:0:0], l.outbox[i:]...)
+		metUnacked.Add(-float64(i))
 	}
 	if seq > l.acked {
 		l.acked = seq

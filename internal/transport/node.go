@@ -271,6 +271,7 @@ func (n *Node) buildSession(session uint64, blob []byte) (*nodeSession, error) {
 			TopicPrefix: a.TopicPrefix,
 			Incarnation: incarnation,
 			Trace:       ns.recorder,
+			Metrics:     agent.NewMetrics(nil),
 		})
 	}
 	for _, spec := range mine {
